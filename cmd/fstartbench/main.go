@@ -1,0 +1,143 @@
+// Command fstartbench inspects the FStartBench benchmark: the 13
+// functions of Table II with their package composition and timing model,
+// and the seven composed workloads with their similarity/variance
+// metrics.
+//
+// Usage:
+//
+//	fstartbench -table              # Table II + cost model
+//	fstartbench -workloads          # the seven workloads' metrics
+//	fstartbench -emit Peak          # CSV of one workload's invocations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlcr/internal/dockerfile"
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/image"
+	"mlcr/internal/report"
+)
+
+func main() {
+	table := flag.Bool("table", false, "print Table II (the 13 functions)")
+	workloads := flag.Bool("workloads", false, "print the seven workloads and their metrics")
+	emit := flag.String("emit", "", "emit one workload's invocations as CSV")
+	dfPath := flag.String("dockerfile", "", "classify a Dockerfile's packages into MLCR levels")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if !*table && !*workloads && *emit == "" && *dfPath == "" {
+		*table = true
+		*workloads = true
+	}
+	if *dfPath != "" {
+		classifyDockerfile(*dfPath)
+	}
+
+	if *table {
+		printTable()
+	}
+	if *workloads {
+		printWorkloads(*seed)
+	}
+	if *emit != "" {
+		emitWorkload(*emit, *seed)
+	}
+}
+
+func printTable() {
+	t := &report.Table{
+		Title:  "Table II — FStartBench functions",
+		Header: []string{"id", "name", "OS", "language", "runtime pkgs", "cold start", "exec", "mem MB", "description"},
+	}
+	for _, f := range fstartbench.Functions() {
+		t.AddRow(f.ID, f.Name, mainPkg(f.Image, image.OS), mainPkg(f.Image, image.Language),
+			len(f.Image.AtLevel(image.Runtime)),
+			f.ColdStartTime(), f.Exec, fmt.Sprintf("%.0f", f.MemoryMB), f.Description)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+// classifyDockerfile parses a Dockerfile and prints the automated
+// three-level package classification (the paper's future-work tool).
+func classifyDockerfile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fstartbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	res, err := dockerfile.Parse(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fstartbench: %v\n", err)
+		os.Exit(1)
+	}
+	t := &report.Table{
+		Title:  "Dockerfile package classification — " + path,
+		Header: []string{"package", "version", "level", "installer"},
+	}
+	for _, p := range res.Packages {
+		v := p.Version
+		if v == "" {
+			v = "latest"
+		}
+		t.AddRow(p.Name, v, p.Level.String(), p.Installer)
+	}
+	t.Render(os.Stdout)
+	im := res.Image(path)
+	fmt.Printf("estimated image size: %.0f MB (OS %.0f, language %.0f, runtime %.0f)\n\n",
+		im.SizeMB(), im.LevelSizeMB(image.OS), im.LevelSizeMB(image.Language), im.LevelSizeMB(image.Runtime))
+}
+
+// mainPkg names a level by its largest package (the base image or the
+// language toolchain, not auxiliary packages).
+func mainPkg(im image.Image, l image.Level) string {
+	ps := im.AtLevel(l)
+	if len(ps) == 0 {
+		return "-"
+	}
+	best := ps[0]
+	for _, p := range ps[1:] {
+		if p.SizeMB > best.SizeMB {
+			best = p
+		}
+	}
+	return best.Name
+}
+
+func printWorkloads(seed int64) {
+	t := &report.Table{
+		Title:  "FStartBench workloads",
+		Header: []string{"workload", "function types", "invocations", "span", "avg Jaccard", "size variance"},
+	}
+	for _, name := range fstartbench.Names {
+		w := fstartbench.Build(name, seed, fstartbench.Options{})
+		t.AddRow(name, fmt.Sprintf("%v", fstartbench.TypeSet(name)), len(w.Invocations),
+			w.Duration(), fmt.Sprintf("%.3f", w.AvgSimilarity()), fmt.Sprintf("%.0f", w.SizeVariance()))
+	}
+	w := fstartbench.BuildOverall(seed, fstartbench.OverallOptions{})
+	t.AddRow(fstartbench.Overall, "[1..13]", len(w.Invocations), w.Duration(),
+		fmt.Sprintf("%.3f", w.AvgSimilarity()), fmt.Sprintf("%.0f", w.SizeVariance()))
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func emitWorkload(name string, seed int64) {
+	var t report.Table
+	t.Header = []string{"seq", "arrival_ms", "fn_id", "fn_name", "exec_ms"}
+	var w = fstartbench.BuildOverall(seed, fstartbench.OverallOptions{})
+	if name != fstartbench.Overall {
+		w = fstartbench.Build(name, seed, fstartbench.Options{})
+	}
+	for _, inv := range w.Invocations {
+		t.AddRow(inv.Seq, inv.Arrival.Milliseconds(), inv.Fn.ID, inv.Fn.Name, inv.Exec.Milliseconds())
+	}
+	if err := t.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "fstartbench: %v\n", err)
+		os.Exit(1)
+	}
+}

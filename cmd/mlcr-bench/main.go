@@ -1,0 +1,102 @@
+// Command mlcr-bench regenerates every table and figure of the paper's
+// evaluation from the simulator (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	mlcr-bench -fig all                 # everything (slow: trains DQNs)
+//	mlcr-bench -fig 1                   # Figure 1 (no training)
+//	mlcr-bench -fig 8 -repeats 3        # overall evaluation
+//	mlcr-bench -fig 11a -episodes 48    # similarity panel, longer training
+//	mlcr-bench -fig 8 -csv out.csv      # also emit CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mlcr/internal/experiments"
+	"mlcr/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 8, 9, 10, 11a, 11b, 11c, overhead, ablation, cache, all")
+	seed := flag.Int64("seed", 1, "base random seed")
+	repeats := flag.Int("repeats", 0, "workload seeds per data point (0 = default 3)")
+	episodes := flag.Int("episodes", 0, "MLCR training episodes (0 = default 36)")
+	csvPath := flag.String("csv", "", "also write the table(s) as CSV to this file")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Repeats: *repeats, Episodes: *episodes}
+
+	var tables []*report.Table
+	run := func(name string, f func() *report.Table) {
+		start := time.Now()
+		t := f()
+		t.Render(os.Stdout)
+		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		tables = append(tables, t)
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("1") {
+		run("fig 1", func() *report.Table { return experiments.Fig1().Table() })
+	}
+	if want("2") {
+		run("fig 2", func() *report.Table { return experiments.Fig2().Table() })
+	}
+	if want("3") {
+		run("fig 3", func() *report.Table { return experiments.Fig3(*seed).Table() })
+	}
+	if want("8") {
+		run("fig 8", func() *report.Table { return experiments.Fig8(opts).Table() })
+	}
+	if want("9") {
+		run("fig 9", func() *report.Table { return experiments.Fig9(opts, 50).Table() })
+	}
+	if want("10") {
+		run("fig 10", func() *report.Table { return experiments.Fig10(opts).Table() })
+	}
+	for _, panel := range []struct{ suffix, group string }{
+		{"11a", "similarity"}, {"11b", "variance"}, {"11c", "arrival"},
+	} {
+		if want(panel.suffix) {
+			group := panel.group
+			run("fig "+panel.suffix, func() *report.Table { return experiments.Fig11(group, opts).Table() })
+		}
+	}
+	if want("overhead") {
+		run("overhead", func() *report.Table { return experiments.Overhead(opts).Table() })
+	}
+	if want("ablation") {
+		run("ablation", func() *report.Table { return experiments.Ablation(opts).Table() })
+	}
+	if want("cache") {
+		run("cache", func() *report.Table { return experiments.CacheStudy(opts).Table() })
+	}
+
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "mlcr-bench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlcr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		for _, t := range tables {
+			fmt.Fprintf(f, "# %s\n", strings.TrimSpace(t.Title))
+			if err := t.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mlcr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(f)
+		}
+	}
+}

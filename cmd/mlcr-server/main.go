@@ -1,0 +1,79 @@
+// Command mlcr-server runs the HTTP gateway over the serverless-platform
+// simulator, exposing the FStartBench catalog behind a chosen scheduling
+// policy — an OpenFaaS-style playground for warm-start behaviour.
+//
+// Usage:
+//
+//	mlcr-server -addr :8080 -policy Greedy-Match -pool 4096
+//
+// then:
+//
+//	curl -X POST localhost:8080/invoke -d '{"fn_id": 5}'
+//	curl -X POST localhost:8080/invoke -d '{"fn_id": 6}'   # L2 warm reuse
+//	curl localhost:8080/stats
+//	curl localhost:8080/pool
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"mlcr/internal/api"
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/platform"
+	"mlcr/internal/policy"
+	"mlcr/internal/pool"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	policyName := flag.String("policy", "Greedy-Match",
+		"policy: LRU, FaasCache, KeepAlive, Greedy-Match, Cost-Greedy")
+	poolMB := flag.Float64("pool", 4096, "warm pool capacity in MB (0 = unlimited)")
+	flag.Parse()
+
+	mkSched, mkEvict, ok := factories(*policyName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mlcr-server: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	srv, err := api.New(api.Config{
+		Functions:      fstartbench.Functions(),
+		PoolCapacityMB: *poolMB,
+		NewScheduler:   mkSched,
+		NewEvictor:     mkEvict,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlcr-server: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mlcr-server: %s policy, %.0f MB pool, listening on %s\n", *policyName, *poolMB, *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintf(os.Stderr, "mlcr-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func factories(name string) (func() platform.Scheduler, func() pool.Evictor, bool) {
+	switch name {
+	case "LRU":
+		return func() platform.Scheduler { return policy.NewLRU() },
+			func() pool.Evictor { return policy.NewLRU().Evictor() }, true
+	case "FaasCache":
+		return func() platform.Scheduler { return policy.NewFaasCache() },
+			func() pool.Evictor { return policy.NewFaasCache().Evictor() }, true
+	case "KeepAlive":
+		return func() platform.Scheduler { return policy.NewKeepAlive() },
+			func() pool.Evictor { return policy.NewKeepAlive().Evictor() }, true
+	case "Greedy-Match":
+		return func() platform.Scheduler { return policy.NewGreedyMatch() },
+			func() pool.Evictor { return policy.NewGreedyMatch().Evictor() }, true
+	case "Cost-Greedy":
+		return func() platform.Scheduler { return policy.NewCostGreedy() },
+			func() pool.Evictor { return policy.NewCostGreedy().Evictor() }, true
+	default:
+		return nil, nil, false
+	}
+}

@@ -1,0 +1,124 @@
+// Command mlcr-sim replays one FStartBench workload through the platform
+// simulator under a chosen scheduling policy and prints the resulting
+// startup metrics.
+//
+// Usage:
+//
+//	mlcr-sim -workload Peak -policy Greedy-Match -pool 0.5
+//	mlcr-sim -workload Overall -policy MLCR -episodes 36
+//	mlcr-sim -workload LO-Sim -policy MLCR -model mlcr.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlcr/internal/experiments"
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/metrics"
+	"mlcr/internal/platform"
+	"mlcr/internal/report"
+	"mlcr/internal/trace"
+	"mlcr/internal/workload"
+)
+
+func main() {
+	wname := flag.String("workload", "Overall",
+		"workload: Overall, LO-Sim, HI-Sim, LO-Var, HI-Var, Uniform, Peak, Random")
+	policyName := flag.String("policy", "Greedy-Match",
+		"policy: LRU, FaasCache, KeepAlive, Greedy-Match, Cost-Greedy, MLCR")
+	poolFrac := flag.Float64("pool", 0.5, "warm pool size as a fraction of the calibrated Loose size")
+	seed := flag.Int64("seed", 1, "workload seed")
+	episodes := flag.Int("episodes", 0, "MLCR training episodes (MLCR policy only; 0 = default)")
+	modelPath := flag.String("model", "", "load a pre-trained MLCR model instead of training")
+	tracePath := flag.String("trace", "", "replay a CSV trace (seq,arrival_ms,fn_id,exec_ms) instead of a generated workload")
+	flag.Parse()
+
+	var w workload.Workload
+	switch {
+	case *tracePath != "":
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		w, err = trace.Read(f, *tracePath, fstartbench.Functions())
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *wname == fstartbench.Overall:
+		w = fstartbench.BuildOverall(*seed, fstartbench.OverallOptions{})
+	default:
+		w = fstartbench.Build(*wname, *seed, fstartbench.Options{})
+	}
+	loose := experiments.CalibrateLoose(w)
+	poolMB := loose * *poolFrac
+
+	var res *platform.RunResult
+	switch *policyName {
+	case "MLCR":
+		opts := experiments.Options{Seed: *seed, Episodes: *episodes}
+		var sched = experiments.TrainMLCR(w, loose, []float64{*poolFrac}, opts)
+		if *modelPath != "" {
+			f, err := os.Open(*modelPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := sched.Load(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+		res = experiments.RunOnce(experiments.MLCRSetup(sched), w, poolMB)
+	default:
+		var setup *experiments.Setup
+		for _, s := range append(experiments.Baselines(), experiments.CostGreedySetup()) {
+			if s.Name == *policyName {
+				s := s
+				setup = &s
+				break
+			}
+		}
+		if setup == nil {
+			fmt.Fprintf(os.Stderr, "mlcr-sim: unknown policy %q\n", *policyName)
+			os.Exit(2)
+		}
+		res = experiments.RunOnce(*setup, w, poolMB)
+	}
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("%s on %s (pool %.0f MB = %.0f%% of Loose %.0f MB)", *policyName, w.Name, poolMB, *poolFrac*100, loose),
+		Header: []string{"metric", "value"},
+	}
+	m := &res.Metrics
+	t.AddRow("invocations", m.Count())
+	t.AddRow("total startup latency", m.TotalStartup())
+	t.AddRow("average startup latency", m.AvgStartup())
+	t.AddRow("p99 startup latency", time.Duration(metrics.Percentile(m.Latencies(), 99)*float64(time.Second)))
+	t.AddRow("cold starts", m.ColdStarts())
+	lv := m.ByLevel()
+	t.AddRow("warm starts (L1/L2/L3)", fmt.Sprintf("%d/%d/%d", lv[1], lv[2], lv[3]))
+	t.AddRow("containers created", res.ContainersCreated)
+	t.AddRow("pool evictions", res.PoolStats.Evictions)
+	t.AddRow("pool rejections", res.PoolStats.Rejections)
+	t.AddRow("pool expirations", res.PoolStats.Expirations)
+	t.AddRow("peak pool memory (MB)", fmt.Sprintf("%.0f", res.PoolStats.PeakUsedMB))
+	t.AddRow("peak running memory (MB)", fmt.Sprintf("%.0f", res.PeakRunningMB))
+	t.AddRow("cleaner repacks", res.CleanerOps.Repacks)
+	t.Render(os.Stdout)
+
+	// Startup-latency distribution.
+	h := metrics.NewLatencyHistogram()
+	for _, s := range res.Metrics.Samples() {
+		h.Observe(s.Startup)
+	}
+	fmt.Printf("\nstartup latency distribution (P50 ≤ %v, P99 ≤ %v):\n%s",
+		h.Quantile(0.5), h.Quantile(0.99), h)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mlcr-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command mlcr-train trains the MLCR DQN scheduler offline (Algorithm 1)
+// on an FStartBench workload and saves the model weights for later use by
+// mlcr-sim.
+//
+// Usage:
+//
+//	mlcr-train -workload Overall -episodes 48 -out mlcr.gob
+//	mlcr-train -workload Peak -episodes 36 -out peak.gob -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlcr/internal/experiments"
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/mlcr"
+	"mlcr/internal/workload"
+)
+
+func main() {
+	wname := flag.String("workload", "Overall",
+		"workload: Overall, LO-Sim, HI-Sim, LO-Var, HI-Var, Uniform, Peak, Random")
+	episodes := flag.Int("episodes", 36, "training episodes")
+	seed := flag.Int64("seed", 1, "random seed (workload + weights + exploration)")
+	out := flag.String("out", "mlcr.gob", "output model path")
+	slots := flag.Int("slots", 4, "candidate container slots (action space = slots+1)")
+	verbose := flag.Bool("v", false, "print per-episode training stats")
+	flag.Parse()
+
+	var w workload.Workload
+	if *wname == fstartbench.Overall {
+		w = fstartbench.BuildOverall(*seed, fstartbench.OverallOptions{})
+	} else {
+		w = fstartbench.Build(*wname, *seed, fstartbench.Options{})
+	}
+	loose := experiments.CalibrateLoose(w)
+	fmt.Printf("workload %s: %d invocations over %v; Loose pool %.0f MB\n",
+		w.Name, len(w.Invocations), w.Duration().Round(time.Second), loose)
+
+	opts := experiments.Options{Seed: *seed, Episodes: *episodes}
+	opts.MLCR.Slots = *slots
+	opts = opts.WithDefaults()
+
+	cfg := opts.MLCR
+	cfg.Seed = *seed
+	cfg.NormMB = loose * 0.5
+	cfg.EpsilonDecayEpisodes = *episodes * 2 / 3
+	s := mlcr.New(cfg)
+
+	start := time.Now()
+	fracs := []float64{0.2, 0.5, 1.0}
+	s.Train(mlcr.TrainOptions{
+		Episodes:       *episodes,
+		PoolForEpisode: func(ep int) float64 { return loose * fracs[ep%len(fracs)] },
+		Workload:       func(int) workload.Workload { return w },
+		OnEpisode: func(e mlcr.EpisodeStats) {
+			if *verbose {
+				fmt.Printf("  episode %3d: total startup %v, cold starts %d, ε=%.2f, TD=%.4f\n",
+					e.Episode, e.TotalStartup.Round(time.Second), e.ColdStarts, e.Epsilon, e.TDError)
+			}
+		},
+	})
+	fmt.Printf("trained %d episodes in %v (%d DQN updates)\n",
+		*episodes, time.Since(start).Round(time.Second), s.Agent().Updates())
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Save(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model saved to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mlcr-train: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Train-and-serve: train the MLCR DQN scheduler offline on one workload
+// (Algorithm 1), save the model, load it into a fresh scheduler, and
+// serve a different seed of the same workload pattern — the paper's
+// offline-training / online-inference split, including the model
+// persistence a production deployment would use.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"mlcr/internal/experiments"
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/mlcr"
+	"mlcr/internal/report"
+	"mlcr/internal/workload"
+)
+
+func main() {
+	// Offline phase: train on the Peak workload (seed 1).
+	train := fstartbench.Build(fstartbench.Peak, 1, fstartbench.Options{})
+	loose := experiments.CalibrateLoose(train)
+
+	cfg := mlcr.Config{Slots: 4, Dim: 24, Hidden: 48, Seed: 1,
+		NormMB: loose * 0.5, EpsilonDecayEpisodes: 12, DeviationMargin: 0.1}
+	sched := mlcr.New(cfg)
+
+	fmt.Println("offline training (18 episodes, pool-size curriculum):")
+	start := time.Now()
+	fracs := []float64{0.25, 0.5, 1.0}
+	sched.Train(mlcr.TrainOptions{
+		Episodes:       18,
+		PoolForEpisode: func(ep int) float64 { return loose * fracs[ep%3] },
+		Workload:       func(int) workload.Workload { return train },
+		OnEpisode: func(e mlcr.EpisodeStats) {
+			if e.Episode%6 == 0 {
+				fmt.Printf("  episode %2d: total startup %v, ε=%.2f\n",
+					e.Episode, e.TotalStartup.Round(time.Second), e.Epsilon)
+			}
+		},
+	})
+	fmt.Printf("trained in %v (%d DQN updates)\n\n", time.Since(start).Round(time.Second), sched.Agent().Updates())
+
+	// Persist and reload — as a deployment would.
+	var model bytes.Buffer
+	if err := sched.Save(&model); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	served := mlcr.New(cfg)
+	if err := served.Load(&model); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Online phase: a new day of traffic (different seed).
+	serve := fstartbench.Build(fstartbench.Peak, 99, fstartbench.Options{})
+	t := &report.Table{
+		Title:  "online serving on unseen traffic (pool = 50% of Loose)",
+		Header: []string{"policy", "total startup", "avg startup", "cold starts"},
+	}
+	for _, s := range append(experiments.Baselines(), experiments.MLCRSetup(served)) {
+		res := experiments.RunOnce(s, serve, loose*0.5)
+		t.AddRow(s.Name, res.Metrics.TotalStartup(), res.Metrics.AvgStartup(), res.Metrics.ColdStarts())
+	}
+	t.Render(os.Stdout)
+}

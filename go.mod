@@ -1,0 +1,3 @@
+module mlcr
+
+go 1.22

@@ -1,0 +1,286 @@
+// Package api exposes the serverless-platform simulator over HTTP, in
+// the style of an OpenFaaS/OpenWhisk gateway: clients invoke functions,
+// the gateway schedules them onto warm containers via the configured
+// policy, and reports startup metrics. Virtual time advances with
+// explicit per-request timestamps (for reproducible drives) or with the
+// wall clock since the gateway started.
+//
+// Endpoints:
+//
+//	POST /invoke            {"fn_id": 5, "at_ms": 1200}  → startup breakdown
+//	GET  /stats             aggregate run metrics
+//	GET  /functions         the function catalog
+//	GET  /pool              current warm-pool contents
+//	POST /reset             fresh platform, same configuration
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mlcr/internal/image"
+	"mlcr/internal/platform"
+	"mlcr/internal/pool"
+	"mlcr/internal/workload"
+)
+
+// Config assembles a gateway.
+type Config struct {
+	// Functions is the invocable catalog (IDs must be unique).
+	Functions []*workload.Function
+	// PoolCapacityMB sizes the warm pool (<= 0 unlimited).
+	PoolCapacityMB float64
+	// NewScheduler builds the scheduling policy (fresh on every reset).
+	NewScheduler func() platform.Scheduler
+	// NewEvictor builds the pool eviction policy; nil = LRU.
+	NewEvictor func() pool.Evictor
+}
+
+// Server is the HTTP gateway. It is safe for concurrent use; requests
+// are serialized onto the single simulated platform.
+type Server struct {
+	cfg   Config
+	byID  map[int]*workload.Function
+	mu    sync.Mutex
+	plat  *platform.Platform
+	start time.Time
+	seq   int
+	mux   *http.ServeMux
+}
+
+// New creates a gateway server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Functions) == 0 {
+		return nil, fmt.Errorf("api: no functions configured")
+	}
+	if cfg.NewScheduler == nil {
+		return nil, fmt.Errorf("api: NewScheduler required")
+	}
+	byID := make(map[int]*workload.Function, len(cfg.Functions))
+	for _, f := range cfg.Functions {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("api: %w", err)
+		}
+		if _, dup := byID[f.ID]; dup {
+			return nil, fmt.Errorf("api: duplicate function ID %d", f.ID)
+		}
+		byID[f.ID] = f
+	}
+	s := &Server{cfg: cfg, byID: byID}
+	s.resetLocked()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke", s.handleInvoke)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /functions", s.handleFunctions)
+	mux.HandleFunc("GET /pool", s.handlePool)
+	mux.HandleFunc("POST /reset", s.handleReset)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) resetLocked() {
+	var ev pool.Evictor
+	if s.cfg.NewEvictor != nil {
+		ev = s.cfg.NewEvictor()
+	}
+	s.plat = platform.New(platform.Config{PoolCapacityMB: s.cfg.PoolCapacityMB, Evictor: ev}, s.cfg.NewScheduler())
+	s.start = time.Now()
+	s.seq = 0
+}
+
+// InvokeRequest is the POST /invoke body.
+type InvokeRequest struct {
+	FnID int `json:"fn_id"`
+	// AtMS pins the virtual arrival time in milliseconds; omitted or
+	// zero means "wall-clock time since gateway start". Arrivals must
+	// be non-decreasing.
+	AtMS int64 `json:"at_ms,omitempty"`
+	// ExecMS overrides the function's mean execution time.
+	ExecMS int64 `json:"exec_ms,omitempty"`
+}
+
+// InvokeResponse reports one scheduling outcome.
+type InvokeResponse struct {
+	Seq         int    `json:"seq"`
+	FnID        int    `json:"fn_id"`
+	ContainerID int    `json:"container_id"`
+	Cold        bool   `json:"cold"`
+	MatchLevel  string `json:"match_level"`
+	StartupMS   int64  `json:"startup_ms"`
+	Breakdown   struct {
+		CreateMS  int64 `json:"create_ms"`
+		CleanMS   int64 `json:"clean_ms"`
+		PullMS    int64 `json:"pull_ms"`
+		InstallMS int64 `json:"install_ms"`
+		RtInitMS  int64 `json:"rt_init_ms"`
+		FnInitMS  int64 `json:"fn_init_ms"`
+	} `json:"breakdown"`
+	VirtualTimeMS int64 `json:"virtual_time_ms"`
+}
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	var req InvokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed body: %v", err)
+		return
+	}
+	fn, ok := s.byID[req.FnID]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown function %d", req.FnID)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := time.Duration(req.AtMS) * time.Millisecond
+	if req.AtMS == 0 {
+		at = time.Since(s.start)
+	}
+	if at < s.plat.Now() {
+		httpError(w, http.StatusConflict, "arrival %v before virtual time %v", at, s.plat.Now())
+		return
+	}
+	exec := fn.Exec
+	if req.ExecMS > 0 {
+		exec = time.Duration(req.ExecMS) * time.Millisecond
+	}
+	inv := &workload.Invocation{Seq: s.seq, Fn: fn, Arrival: at, Exec: exec}
+	s.seq++
+	res := s.plat.Invoke(inv)
+
+	var out InvokeResponse
+	out.Seq = inv.Seq
+	out.FnID = fn.ID
+	out.ContainerID = res.ContainerID
+	out.Cold = res.Cold
+	out.MatchLevel = res.Level.String()
+	out.StartupMS = res.Startup.Total().Milliseconds()
+	out.Breakdown.CreateMS = res.Startup.Create.Milliseconds()
+	out.Breakdown.CleanMS = res.Startup.Clean.Milliseconds()
+	out.Breakdown.PullMS = res.Startup.Pull.Milliseconds()
+	out.Breakdown.InstallMS = res.Startup.Install.Milliseconds()
+	out.Breakdown.RtInitMS = res.Startup.RuntimeInit.Milliseconds()
+	out.Breakdown.FnInitMS = res.Startup.FunctionInit.Milliseconds()
+	out.VirtualTimeMS = int64(s.plat.Now() / time.Millisecond)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Policy         string  `json:"policy"`
+	Invocations    int     `json:"invocations"`
+	TotalStartupMS int64   `json:"total_startup_ms"`
+	AvgStartupMS   int64   `json:"avg_startup_ms"`
+	ColdStarts     int     `json:"cold_starts"`
+	WarmByLevel    [4]int  `json:"warm_by_level"`
+	PoolUsedMB     float64 `json:"pool_used_mb"`
+	PoolPeakMB     float64 `json:"pool_peak_mb"`
+	Evictions      int     `json:"evictions"`
+	Rejections     int     `json:"rejections"`
+	Expirations    int     `json:"expirations"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.plat.Results()
+	stats := s.plat.Pool().Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Policy:         res.Policy,
+		Invocations:    res.Metrics.Count(),
+		TotalStartupMS: res.Metrics.TotalStartup().Milliseconds(),
+		AvgStartupMS:   res.Metrics.AvgStartup().Milliseconds(),
+		ColdStarts:     res.Metrics.ColdStarts(),
+		WarmByLevel:    res.Metrics.ByLevel(),
+		PoolUsedMB:     s.plat.Pool().UsedMB(),
+		PoolPeakMB:     stats.PeakUsedMB,
+		Evictions:      stats.Evictions,
+		Rejections:     stats.Rejections,
+		Expirations:    stats.Expirations,
+	})
+}
+
+// FunctionInfo is one catalog entry of GET /functions.
+type FunctionInfo struct {
+	ID          int    `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	OS          string `json:"os"`
+	Language    string `json:"language"`
+	ColdStartMS int64  `json:"cold_start_ms"`
+	MemoryMB    int    `json:"memory_mb"`
+}
+
+func (s *Server) handleFunctions(w http.ResponseWriter, _ *http.Request) {
+	out := make([]FunctionInfo, 0, len(s.cfg.Functions))
+	for _, f := range s.cfg.Functions {
+		info := FunctionInfo{
+			ID: f.ID, Name: f.Name, Description: f.Description,
+			ColdStartMS: f.ColdStartTime().Milliseconds(),
+			MemoryMB:    int(f.MemoryMB),
+		}
+		if ps := f.Image.AtLevel(image.OS); len(ps) > 0 {
+			info.OS = biggest(ps)
+		}
+		if ps := f.Image.AtLevel(image.Language); len(ps) > 0 {
+			info.Language = biggest(ps)
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func biggest(ps []image.Package) string {
+	b := ps[0]
+	for _, p := range ps[1:] {
+		if p.SizeMB > b.SizeMB {
+			b = p
+		}
+	}
+	return b.Name
+}
+
+// PoolEntry is one warm container in GET /pool.
+type PoolEntry struct {
+	ContainerID int     `json:"container_id"`
+	FnID        int     `json:"fn_id"`
+	MemoryMB    float64 `json:"memory_mb"`
+	IdleSinceMS int64   `json:"idle_since_ms"`
+	UseCount    int     `json:"use_count"`
+}
+
+func (s *Server) handlePool(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []PoolEntry
+	for _, c := range s.plat.Pool().Idle() {
+		out = append(out, PoolEntry{
+			ContainerID: c.ID, FnID: c.FnID, MemoryMB: c.MemoryMB,
+			IdleSinceMS: int64(c.IdleSince / time.Millisecond), UseCount: c.UseCount,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetLocked()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "reset"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,158 @@
+// Package cluster models the multi-worker deployment of Figure 4: a
+// front-end router distributes function invocations over a cluster of
+// workers, each of which owns a reserved warm-pool slice and runs its own
+// scheduler instance. Containers never migrate between workers, so a
+// function can only reuse warm containers on the worker it is routed to —
+// the locality constraint that makes routing policy part of the warm-start
+// problem.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"mlcr/internal/platform"
+	"mlcr/internal/pool"
+	"mlcr/internal/workload"
+)
+
+// Routing selects the worker for each invocation.
+type Routing int
+
+const (
+	// RoundRobin cycles through workers — oblivious to warm state.
+	RoundRobin Routing = iota
+	// ByFunction hashes the function ID to a worker, giving every
+	// function a home worker whose pool accumulates its containers.
+	ByFunction
+	// LeastLoaded routes to the worker with the least running memory.
+	LeastLoaded
+)
+
+func (r Routing) String() string {
+	switch r {
+	case RoundRobin:
+		return "round-robin"
+	case ByFunction:
+		return "by-function"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("Routing(%d)", int(r))
+	}
+}
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// Workers is the cluster size (must be >= 1).
+	Workers int
+	// PoolCapacityMB is the total warm-pool budget, split evenly across
+	// workers (<= 0 means unlimited on every worker).
+	PoolCapacityMB float64
+	// Routing is the front-end policy (default RoundRobin).
+	Routing Routing
+	// NewScheduler builds one scheduler per worker.
+	NewScheduler func(worker int) platform.Scheduler
+	// NewEvictor builds one pool evictor per worker; nil = LRU.
+	NewEvictor func(worker int) pool.Evictor
+}
+
+// Result aggregates a cluster run.
+type Result struct {
+	// PerWorker holds each worker's platform results.
+	PerWorker []*platform.RunResult
+	// Routed counts invocations per worker.
+	Routed []int
+}
+
+// TotalStartup sums startup latency across workers.
+func (r Result) TotalStartup() time.Duration {
+	var s time.Duration
+	for _, w := range r.PerWorker {
+		s += w.Metrics.TotalStartup()
+	}
+	return s
+}
+
+// ColdStarts sums cold starts across workers.
+func (r Result) ColdStarts() int {
+	n := 0
+	for _, w := range r.PerWorker {
+		n += w.Metrics.ColdStarts()
+	}
+	return n
+}
+
+// Run partitions the workload across workers per the routing policy and
+// replays each partition on its worker's platform. Workers are
+// independent simulations: the cluster-level metrics are exact because
+// workers share nothing but the arrival stream.
+func Run(cfg Config, w workload.Workload) Result {
+	if cfg.Workers < 1 {
+		panic("cluster: Workers must be >= 1")
+	}
+	if cfg.NewScheduler == nil {
+		panic("cluster: NewScheduler required")
+	}
+	perPool := cfg.PoolCapacityMB
+	if perPool > 0 {
+		perPool /= float64(cfg.Workers)
+	}
+
+	parts := route(cfg, w)
+	res := Result{Routed: make([]int, cfg.Workers)}
+	for i := 0; i < cfg.Workers; i++ {
+		var ev pool.Evictor
+		if cfg.NewEvictor != nil {
+			ev = cfg.NewEvictor(i)
+		}
+		p := platform.New(platform.Config{PoolCapacityMB: perPool, Evictor: ev}, cfg.NewScheduler(i))
+		sub := workload.Workload{Name: fmt.Sprintf("%s/w%d", w.Name, i), Functions: w.Functions, Invocations: parts[i]}
+		res.Routed[i] = len(parts[i])
+		res.PerWorker = append(res.PerWorker, p.Run(sub))
+	}
+	return res
+}
+
+// route assigns invocations to workers. LeastLoaded approximates load by
+// outstanding execution time per worker at each arrival (the router
+// cannot see simulated futures, so it tracks a running busy-until
+// estimate per worker).
+func route(cfg Config, w workload.Workload) [][]workload.Invocation {
+	parts := make([][]workload.Invocation, cfg.Workers)
+	busyUntil := make([]time.Duration, cfg.Workers)
+	for i, inv := range w.Invocations {
+		var target int
+		switch cfg.Routing {
+		case RoundRobin:
+			target = i % cfg.Workers
+		case ByFunction:
+			target = inv.Fn.ID % cfg.Workers
+		case LeastLoaded:
+			target = 0
+			for k := 1; k < cfg.Workers; k++ {
+				if load(busyUntil[k], inv.Arrival) < load(busyUntil[target], inv.Arrival) {
+					target = k
+				}
+			}
+			end := inv.Arrival + inv.Exec
+			if busyUntil[target] > inv.Arrival {
+				end = busyUntil[target] + inv.Exec
+			}
+			busyUntil[target] = end
+		default:
+			panic(fmt.Sprintf("cluster: unknown routing %d", int(cfg.Routing)))
+		}
+		cp := inv
+		cp.Seq = len(parts[target])
+		parts[target] = append(parts[target], cp)
+	}
+	return parts
+}
+
+func load(busyUntil, now time.Duration) time.Duration {
+	if busyUntil <= now {
+		return 0
+	}
+	return busyUntil - now
+}

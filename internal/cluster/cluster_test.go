@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/platform"
+	"mlcr/internal/policy"
+	"mlcr/internal/pool"
+	"mlcr/internal/workload"
+)
+
+func mkCfg(workers int, routing Routing, poolMB float64) Config {
+	return Config{
+		Workers:        workers,
+		PoolCapacityMB: poolMB,
+		Routing:        routing,
+		NewScheduler:   func(int) platform.Scheduler { return policy.NewGreedyMatch() },
+		NewEvictor:     func(int) pool.Evictor { return pool.LRU{} },
+	}
+}
+
+func bench(count int) workload.Workload {
+	return fstartbench.Build(fstartbench.Uniform, 1, fstartbench.Options{Count: count})
+}
+
+func TestSingleWorkerMatchesPlatform(t *testing.T) {
+	w := bench(60)
+	cRes := Run(mkCfg(1, RoundRobin, 4096), w)
+	g := policy.NewGreedyMatch()
+	pRes := platform.New(platform.Config{PoolCapacityMB: 4096, Evictor: g.Evictor()}, g).Run(w)
+	if cRes.TotalStartup() != pRes.Metrics.TotalStartup() {
+		t.Fatalf("1-worker cluster %v != platform %v", cRes.TotalStartup(), pRes.Metrics.TotalStartup())
+	}
+	if cRes.ColdStarts() != pRes.Metrics.ColdStarts() {
+		t.Fatalf("cold starts %d != %d", cRes.ColdStarts(), pRes.Metrics.ColdStarts())
+	}
+}
+
+func TestAllInvocationsRouted(t *testing.T) {
+	w := bench(90)
+	for _, r := range []Routing{RoundRobin, ByFunction, LeastLoaded} {
+		res := Run(mkCfg(3, r, 6000), w)
+		total := 0
+		for _, n := range res.Routed {
+			total += n
+		}
+		if total != 90 {
+			t.Fatalf("%v: routed %d of 90", r, total)
+		}
+		served := 0
+		for _, pr := range res.PerWorker {
+			served += pr.Metrics.Count()
+		}
+		if served != 90 {
+			t.Fatalf("%v: served %d of 90", r, served)
+		}
+	}
+}
+
+func TestRoundRobinBalances(t *testing.T) {
+	res := Run(mkCfg(3, RoundRobin, 6000), bench(90))
+	for i, n := range res.Routed {
+		if n != 30 {
+			t.Fatalf("worker %d routed %d, want 30 (%v)", i, n, res.Routed)
+		}
+	}
+}
+
+func TestByFunctionAffinity(t *testing.T) {
+	// With function affinity every worker sees only its own functions,
+	// so cross-worker cold starts from container locality vanish:
+	// by-function routing must not have more cold starts than
+	// round-robin on the same budget.
+	w := bench(150)
+	rr := Run(mkCfg(3, RoundRobin, 3000), w)
+	bf := Run(mkCfg(3, ByFunction, 3000), w)
+	if bf.ColdStarts() > rr.ColdStarts() {
+		t.Fatalf("by-function colds %d > round-robin %d", bf.ColdStarts(), rr.ColdStarts())
+	}
+}
+
+func TestPoolBudgetSplit(t *testing.T) {
+	w := bench(60)
+	res := Run(mkCfg(2, RoundRobin, 1000), w)
+	for i, pr := range res.PerWorker {
+		if pr.PoolStats.PeakUsedMB > 500+1e-6 {
+			t.Fatalf("worker %d pool peak %v exceeds its 500MB slice", i, pr.PoolStats.PeakUsedMB)
+		}
+	}
+}
+
+func TestLeastLoadedAvoidsHotWorker(t *testing.T) {
+	// A burst of concurrent invocations: least-loaded must spread them.
+	f := fstartbench.ByID(fstartbench.Functions(), 13) // long-running ML fn
+	var invs []workload.Invocation
+	for i := 0; i < 12; i++ {
+		invs = append(invs, workload.Invocation{Seq: i, Fn: f,
+			Arrival: time.Duration(i) * 10 * time.Millisecond, Exec: f.Exec})
+	}
+	w := workload.Workload{Name: "burst", Functions: []*workload.Function{f}, Invocations: invs}
+	res := Run(mkCfg(3, LeastLoaded, 0), w)
+	for i, n := range res.Routed {
+		if n == 0 {
+			t.Fatalf("worker %d received nothing under least-loaded: %v", i, res.Routed)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w := bench(80)
+	a := Run(mkCfg(3, ByFunction, 3000), w)
+	b := Run(mkCfg(3, ByFunction, 3000), w)
+	if a.TotalStartup() != b.TotalStartup() || a.ColdStarts() != b.ColdStarts() {
+		t.Fatal("cluster run not deterministic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no workers":   {Workers: 0, NewScheduler: func(int) platform.Scheduler { return policy.NewLRU() }},
+		"no scheduler": {Workers: 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			Run(cfg, bench(5))
+		}()
+	}
+}
+
+func TestRoutingString(t *testing.T) {
+	for r, want := range map[Routing]string{
+		RoundRobin: "round-robin", ByFunction: "by-function", LeastLoaded: "least-loaded", Routing(9): "Routing(9)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d = %q, want %q", int(r), got, want)
+		}
+	}
+}

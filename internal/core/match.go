@@ -1,0 +1,125 @@
+// Package core implements the paper's primary contribution: multi-level
+// matching between a function invocation and warm containers (Table I).
+//
+// Matching compares the three package levels of the function's image with
+// those of a candidate container level-by-level, in order OS → language →
+// runtime, and stops ("prunes") at the first level that differs. The
+// result is the deepest level at which both images agree on every prefix
+// level:
+//
+//	F.L1 ≠ C.L1                          → NoMatch  (cold start)
+//	F.L1 = C.L1, F.L2 ≠ C.L2             → MatchL1
+//	F.L1 = C.L1, F.L2 = C.L2, F.L3 ≠ C.L3 → MatchL2
+//	all three equal                       → MatchL3  (full match)
+package core
+
+import (
+	"fmt"
+
+	"mlcr/internal/image"
+)
+
+// MatchLevel is the outcome of matching a function against a container.
+// Higher values mean more of the container's installed packages can be
+// reused and therefore a cheaper startup.
+type MatchLevel int
+
+const (
+	// NoMatch means the OS level differs; reusing the container would
+	// require reinstalling everything, so it is treated as a cold start.
+	NoMatch MatchLevel = iota
+	// MatchL1 means only the OS level is shared.
+	MatchL1
+	// MatchL2 means OS and language levels are shared.
+	MatchL2
+	// MatchL3 is a full match: all three levels are identical.
+	MatchL3
+)
+
+func (m MatchLevel) String() string {
+	switch m {
+	case NoMatch:
+		return "no-match"
+	case MatchL1:
+		return "L1-match"
+	case MatchL2:
+		return "L2-match"
+	case MatchL3:
+		return "L3-match"
+	default:
+		return fmt.Sprintf("MatchLevel(%d)", int(m))
+	}
+}
+
+// Match returns the match level between a function's required image and a
+// container's installed image, comparing level-by-level with pruning.
+func Match(fn, ct image.Image) MatchLevel {
+	level := NoMatch
+	for _, l := range image.Levels {
+		if fn.LevelKey(l) != ct.LevelKey(l) {
+			return level // prune: deeper levels cannot be reused
+		}
+		level++
+	}
+	return level
+}
+
+// MatchCounted is Match instrumented with the number of level comparisons
+// performed. It exists to demonstrate and test the pruning behaviour: a
+// differing OS level costs exactly one comparison regardless of how many
+// runtime packages the images contain.
+func MatchCounted(fn, ct image.Image) (MatchLevel, int) {
+	level := NoMatch
+	comparisons := 0
+	for _, l := range image.Levels {
+		comparisons++
+		if fn.LevelKey(l) != ct.LevelKey(l) {
+			return level, comparisons
+		}
+		level++
+	}
+	return level, comparisons
+}
+
+// Candidate pairs a container identifier with its match level for one
+// function invocation.
+type Candidate struct {
+	Index int // position in the slice passed to Rank
+	Level MatchLevel
+}
+
+// Rank matches fn against every container image and returns candidates
+// with Level > NoMatch, ordered best-first: deeper match level wins, ties
+// broken by the order given (callers pass containers in a deterministic
+// order, e.g. most-recently-used first).
+func Rank(fn image.Image, containers []image.Image) []Candidate {
+	var out []Candidate
+	for i, c := range containers {
+		if lv := Match(fn, c); lv > NoMatch {
+			out = append(out, Candidate{Index: i, Level: lv})
+		}
+	}
+	// Stable insertion sort by descending level; candidate lists are
+	// small (pool-sized) so O(n²) is irrelevant and stability is free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Level > out[j-1].Level; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Best returns the index of the best-matching container and its level, or
+// (-1, NoMatch) when no container matches at any level.
+func Best(fn image.Image, containers []image.Image) (int, MatchLevel) {
+	best, bestLevel := -1, NoMatch
+	for i, c := range containers {
+		if lv := Match(fn, c); lv > bestLevel {
+			best, bestLevel = i, lv
+			if lv == MatchL3 {
+				break // cannot do better than a full match
+			}
+		}
+	}
+	return best, bestLevel
+}

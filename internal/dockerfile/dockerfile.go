@@ -1,0 +1,335 @@
+// Package dockerfile parses Dockerfiles into three-level package images
+// (Figure 5) and automatically classifies each installed package into the
+// OS, language or runtime level — the paper relies on predefined tags
+// ("it is our future work to design an automated way for package
+// categorization"); this package implements that future-work tool with a
+// lexicon plus installer-based heuristics.
+//
+// The parser understands the subset of Dockerfile syntax that determines
+// package composition: FROM (the base image), RUN with the common package
+// managers (apt/apt-get, apk, yum/dnf, pip/pip3, npm, gem, go install)
+// and the source-build pattern of Figure 5 (wget + ./configure + make
+// install of a language interpreter). Everything else (WORKDIR, COPY,
+// ENV, CMD, EXPOSE, comments) is ignored for matching purposes.
+package dockerfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+	"time"
+
+	"mlcr/internal/image"
+)
+
+// Package is one package extracted from a Dockerfile, before conversion
+// to an image.Package.
+type Package struct {
+	Name      string
+	Version   string
+	Level     image.Level
+	Installer string // "base", "apt", "apk", "yum", "pip", "npm", "gem", "go", "source"
+}
+
+// Result is a parsed Dockerfile.
+type Result struct {
+	// BaseImage is the FROM reference (e.g. "ubuntu:20.04").
+	BaseImage string
+	// Packages lists every extracted package with its classified level.
+	Packages []Package
+	// Warnings records lines the parser recognized as installs but
+	// could not fully interpret.
+	Warnings []string
+}
+
+// languageLexicon names packages that are language toolchains regardless
+// of installer (Figure 3's popular language images and common aliases).
+var languageLexicon = map[string]bool{
+	"python": true, "python3": true, "python2": true, "cpython": true,
+	"openjdk": true, "jdk": true, "jre": true, "java": true,
+	"golang": true, "go": true,
+	"node": true, "nodejs": true, "npm": true,
+	"ruby": true, "php": true, "perl": true, "rust": true, "rustc": true, "cargo": true,
+	"gcc": true, "g++": true, "clang": true, "libstdc++": true,
+	"dotnet": true, "erlang": true, "elixir": true, "haskell": true, "ghc": true,
+	"pip": true, "pip3": true, "setuptools": true,
+}
+
+// osLexicon names packages that belong to the OS level even when
+// installed explicitly.
+var osLexicon = map[string]bool{
+	"ca-certificates": true, "openssl": true, "tzdata": true, "curl": true,
+	"wget": true, "bash": true, "coreutils": true, "glibc": true, "musl": true,
+	"busybox": true, "apt": true, "apk-tools": true, "yum": true, "systemd": true,
+	"tar": true, "gzip": true, "unzip": true, "git": true, "make": true,
+	"build-essential": true, "cmake": true, "pkg-config": true,
+}
+
+// baseImages maps well-known FROM references to their OS identity.
+var baseImages = map[string]string{
+	"ubuntu": "ubuntu", "debian": "debian", "alpine": "alpine",
+	"centos": "centos", "fedora": "fedora", "busybox": "busybox",
+	"amazonlinux": "amazonlinux", "rockylinux": "rockylinux",
+}
+
+// Classify assigns a level to a package by name and installer:
+//
+//  1. known language toolchains → Language,
+//  2. known OS utilities → OS,
+//  3. language package managers (pip, npm, gem, go, cargo) → Runtime,
+//  4. system package managers (apt, apk, yum) → OS,
+//  5. source builds (wget + make install) → Language (interpreters are
+//     the overwhelmingly common source-built dependency, as in Figure 5).
+func Classify(name, installer string) image.Level {
+	base := strings.ToLower(name)
+	// Strip version-ish suffixes: python3.9 -> python3, openjdk-17 -> openjdk.
+	base = strings.TrimRight(base, "0123456789.")
+	base = strings.TrimSuffix(base, "-")
+	if languageLexicon[base] || languageLexicon[strings.ToLower(name)] {
+		return image.Language
+	}
+	if osLexicon[strings.ToLower(name)] || osLexicon[base] {
+		return image.OS
+	}
+	switch installer {
+	case "pip", "npm", "gem", "go", "cargo":
+		return image.Runtime
+	case "apt", "apk", "yum":
+		return image.OS
+	case "source":
+		return image.Language
+	case "base":
+		return image.OS
+	default:
+		return image.Runtime
+	}
+}
+
+var (
+	// pip/npm style "pkg==1.2", "pkg=1.2+cpu", "pkg@^4.18".
+	versionedRe = regexp.MustCompile(`^([A-Za-z0-9_./+-]+?)(?:==|=|@)([A-Za-z0-9_.+^~-]+)$`)
+	// wget of a source tarball, e.g. .../Python-3.9.17.tgz
+	tarballRe = regexp.MustCompile(`([A-Za-z][A-Za-z0-9_+-]*)-([0-9][0-9a-z.]*)\.(?:tar\.gz|tgz|tar\.xz|tar\.bz2|zip)`)
+)
+
+// Parse reads a Dockerfile and extracts its package composition.
+func Parse(r io.Reader) (Result, error) {
+	var res Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// Join continuation lines (trailing backslash).
+	var logical []string
+	var cur strings.Builder
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "#"); i == 0 {
+			continue
+		}
+		if strings.HasSuffix(line, "\\") {
+			cur.WriteString(strings.TrimSuffix(line, "\\"))
+			cur.WriteString(" ")
+			continue
+		}
+		cur.WriteString(line)
+		logical = append(logical, cur.String())
+		cur.Reset()
+	}
+	if err := sc.Err(); err != nil {
+		return res, fmt.Errorf("dockerfile: %w", err)
+	}
+	if cur.Len() > 0 {
+		logical = append(logical, cur.String())
+	}
+
+	for _, line := range logical {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "FROM":
+			if len(fields) < 2 {
+				res.Warnings = append(res.Warnings, line)
+				continue
+			}
+			res.BaseImage = fields[1]
+			res.Packages = append(res.Packages, basePackage(fields[1]))
+		case "RUN":
+			res.parseRun(strings.TrimSpace(line[len(fields[0]):]))
+		}
+	}
+	return res, nil
+}
+
+// ParseString parses Dockerfile text.
+func ParseString(s string) (Result, error) { return Parse(strings.NewReader(s)) }
+
+// basePackage converts a FROM reference into an OS-level package.
+func basePackage(ref string) Package {
+	name := ref
+	version := "latest"
+	if i := strings.IndexByte(ref, ':'); i >= 0 {
+		name, version = ref[:i], ref[i+1:]
+	}
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	if canon, ok := baseImages[strings.ToLower(name)]; ok {
+		name = canon
+	}
+	return Package{Name: name, Version: version, Level: image.OS, Installer: "base"}
+}
+
+// parseRun splits a RUN command on && / ; and extracts installs.
+func (r *Result) parseRun(cmd string) {
+	for _, part := range splitCommands(cmd) {
+		fields := strings.Fields(part)
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case isInstall(fields, "apt-get", "install"), isInstall(fields, "apt", "install"):
+			r.addPkgs(fields, "apt")
+		case isInstall(fields, "apk", "add"):
+			r.addPkgs(fields, "apk")
+		case isInstall(fields, "yum", "install"), isInstall(fields, "dnf", "install"):
+			r.addPkgs(fields, "yum")
+		case isInstall(fields, "pip", "install"), isInstall(fields, "pip3", "install"),
+			isInstall(fields, "python", "-m") && contains(fields, "pip"):
+			r.addPkgs(fields, "pip")
+		case isInstall(fields, "npm", "install"), isInstall(fields, "npm", "i"):
+			r.addPkgs(fields, "npm")
+		case isInstall(fields, "gem", "install"):
+			r.addPkgs(fields, "gem")
+		case isInstall(fields, "go", "install"), isInstall(fields, "go", "get"):
+			r.addPkgs(fields, "go")
+		case fields[0] == "wget" || fields[0] == "curl":
+			// Source-build pattern (Figure 5): a fetched tarball later
+			// configured and installed.
+			for _, f := range fields[1:] {
+				if m := tarballRe.FindStringSubmatch(f); m != nil {
+					r.Packages = append(r.Packages, Package{
+						Name: strings.ToLower(m[1]), Version: m[2],
+						Level:     Classify(m[1], "source"),
+						Installer: "source",
+					})
+				}
+			}
+		}
+	}
+}
+
+// splitCommands breaks a shell command list on && and ;.
+func splitCommands(cmd string) []string {
+	cmd = strings.ReplaceAll(cmd, "&&", "\n")
+	cmd = strings.ReplaceAll(cmd, ";", "\n")
+	return strings.Split(cmd, "\n")
+}
+
+// isInstall reports whether the command invokes tool (possibly behind a
+// sudo/env wrapper) with the given verb anywhere among its arguments —
+// covering both "apt-get install -y pkg" and "apt-get -y install pkg".
+func isInstall(fields []string, tool, verb string) bool {
+	ti := -1
+	for i, f := range fields {
+		if f == tool {
+			ti = i
+			break
+		}
+		if f != "sudo" && f != "env" {
+			return false
+		}
+	}
+	if ti < 0 {
+		return false
+	}
+	for _, f := range fields[ti+1:] {
+		if f == verb {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(fields []string, s string) bool {
+	for _, f := range fields {
+		if f == s {
+			return true
+		}
+	}
+	return false
+}
+
+// addPkgs extracts package operands from an install command.
+func (r *Result) addPkgs(fields []string, installer string) {
+	// Find the verb position, take operands after it.
+	verbIdx := -1
+	for i, f := range fields {
+		switch f {
+		case "install", "add", "i", "get", "-m":
+			verbIdx = i
+		}
+	}
+	if verbIdx < 0 {
+		return
+	}
+	for _, f := range fields[verbIdx+1:] {
+		if strings.HasPrefix(f, "-") || f == "pip" || f == "install" {
+			continue // flags like -y, --no-cache-dir; `python -m pip install`
+		}
+		name, version := f, ""
+		if m := versionedRe.FindStringSubmatch(f); m != nil {
+			name, version = m[1], m[2]
+		}
+		r.Packages = append(r.Packages, Package{
+			Name: name, Version: version,
+			Level:     Classify(name, installer),
+			Installer: installer,
+		})
+	}
+}
+
+// sizeEstimates gives rough per-package sizes (MB) for known packages;
+// unknown packages get the level default.
+var sizeEstimates = map[string]float64{
+	"ubuntu": 75, "debian": 50, "alpine": 6, "centos": 75, "busybox": 2,
+	"python": 48, "python3": 48, "openjdk": 190, "golang": 95, "nodejs": 45, "node": 45,
+	"torch": 750, "tensorflow": 520, "numpy": 28, "pandas": 42, "matplotlib": 38,
+	"flask": 8, "express": 12, "torchvision": 23,
+}
+
+var levelDefaultMB = map[image.Level]float64{
+	image.OS: 15, image.Language: 40, image.Runtime: 12,
+}
+
+// Image converts the parsed result into an image.Image with estimated
+// package sizes and derived pull/install times (25 MB/s pull, 200 MB/s
+// install, matching FStartBench's cost model).
+func (r Result) Image(name string) image.Image {
+	pkgs := make([]image.Package, 0, len(r.Packages))
+	seen := map[string]bool{}
+	for _, p := range r.Packages {
+		version := p.Version
+		if version == "" {
+			version = "latest"
+		}
+		key := p.Name + "@" + version
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		size, ok := sizeEstimates[strings.ToLower(p.Name)]
+		if !ok {
+			size = levelDefaultMB[p.Level]
+		}
+		pkgs = append(pkgs, image.Package{
+			Name: p.Name, Version: version, Level: p.Level, SizeMB: size,
+			Pull:    time.Duration(size * float64(40*time.Millisecond)),
+			Install: time.Duration(size * float64(5*time.Millisecond)),
+		})
+	}
+	return image.NewImage(name, pkgs...)
+}

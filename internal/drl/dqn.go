@@ -1,0 +1,189 @@
+package drl
+
+import (
+	"io"
+	"math/rand"
+
+	"mlcr/internal/nn"
+)
+
+// AgentConfig parameterizes the DQN agent.
+type AgentConfig struct {
+	Q QConfig
+	// Gamma is the discount factor (default 0.95).
+	Gamma float64
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// BatchSize is the minibatch size per update (default 32).
+	BatchSize int
+	// ReplayCapacity is the experience-pool size N (default 10000).
+	ReplayCapacity int
+	// TargetSync is the number of updates between target-network
+	// synchronizations (default 100).
+	TargetSync int
+	// ClipNorm bounds the gradient norm (default 5; <0 disables).
+	ClipNorm float64
+}
+
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.Gamma == 0 {
+		c.Gamma = 0.95
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.ReplayCapacity == 0 {
+		c.ReplayCapacity = 10000
+	}
+	if c.TargetSync == 0 {
+		c.TargetSync = 100
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	return c
+}
+
+// Agent is a DQN learner: an online Q-network, a periodically synced
+// target network, an experience-replay pool and the TD(0) update of
+// Algorithm 1.
+type Agent struct {
+	cfg    AgentConfig
+	online *QNetwork
+	target *QNetwork
+	opt    *nn.Adam
+	replay *Replay
+	rng    *rand.Rand
+
+	updates int
+	lastTD  float64
+}
+
+// NewAgent creates an agent with deterministic initialization from seed.
+func NewAgent(cfg AgentConfig, seed int64) *Agent {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	online := NewQNetwork(cfg.Q, rng)
+	target := NewQNetwork(cfg.Q, rng)
+	nn.CopyParams(target.Params(), online.Params())
+	opt := nn.NewAdam(online.Params(), cfg.LR)
+	if cfg.ClipNorm > 0 {
+		opt.ClipNorm = cfg.ClipNorm
+	}
+	return &Agent{
+		cfg:    cfg,
+		online: online,
+		target: target,
+		opt:    opt,
+		replay: NewReplay(cfg.ReplayCapacity),
+		rng:    rng,
+	}
+}
+
+// Config returns the agent configuration (with defaults applied).
+func (a *Agent) Config() AgentConfig { return a.cfg }
+
+// Replay exposes the experience pool.
+func (a *Agent) Replay() *Replay { return a.replay }
+
+// Updates returns the number of gradient updates applied.
+func (a *Agent) Updates() int { return a.updates }
+
+// LastTDError returns the mean absolute TD error of the latest update,
+// a convergence signal for training loops.
+func (a *Agent) LastTDError() float64 { return a.lastTD }
+
+// QValues computes the online network's Q-values for a state.
+func (a *Agent) QValues(state *nn.Tensor) *nn.Tensor {
+	return a.online.Forward(state)
+}
+
+// SelectAction picks an action ε-greedily among valid (masked-in)
+// actions. With probability epsilon a uniformly random valid action is
+// chosen; otherwise the valid action with the highest Q-value.
+func (a *Agent) SelectAction(s State, epsilon float64) int {
+	if epsilon > 0 && a.rng.Float64() < epsilon {
+		var valid []int
+		for i, ok := range s.Mask {
+			if ok {
+				valid = append(valid, i)
+			}
+		}
+		return valid[a.rng.Intn(len(valid))]
+	}
+	q := a.online.Forward(s.X)
+	act, _ := MaskedArgmax(q, s.Mask)
+	return act
+}
+
+// Observe stores a transition in the replay pool.
+func (a *Agent) Observe(t Transition) { a.replay.Add(t) }
+
+// TrainStep samples a minibatch and applies one DQN update:
+//
+//	y_i = r_i                         if done
+//	y_i = r_i + γ max_a' Q_target(s', a')  otherwise
+//	L   = Σ_i (Q(s_i, a_i) - y_i)² / batch
+//
+// It returns the mean absolute TD error, or 0 when the replay pool is
+// still empty.
+func (a *Agent) TrainStep() float64 {
+	if a.replay.Len() == 0 {
+		return 0
+	}
+	batch := a.replay.Sample(a.cfg.BatchSize, a.rng)
+	var tdSum float64
+	for _, tr := range batch {
+		target := tr.Reward
+		if !tr.Done {
+			// Double DQN: the online network selects the next action,
+			// the target network evaluates it — reducing the max-
+			// operator's overestimation bias.
+			oq := a.online.Forward(tr.Next)
+			next, _ := MaskedArgmax(oq, tr.NextMask)
+			nq := a.target.Forward(tr.Next)
+			target += a.cfg.Gamma * nq.Data[next]
+		}
+		q := a.online.Forward(tr.State)
+		td := q.Data[tr.Action] - target
+		tdSum += abs(td)
+		// dL/dQ — nonzero only at the taken action; scaled by batch.
+		grad := nn.NewTensor(1, q.Cols)
+		grad.Data[tr.Action] = 2 * td / float64(len(batch))
+		a.online.Backward(grad)
+	}
+	a.opt.Step()
+	a.updates++
+	if a.cfg.TargetSync > 0 && a.updates%a.cfg.TargetSync == 0 {
+		a.SyncTarget()
+	}
+	a.lastTD = tdSum / float64(len(batch))
+	return a.lastTD
+}
+
+// SyncTarget copies online-network weights into the target network.
+func (a *Agent) SyncTarget() {
+	nn.CopyParams(a.target.Params(), a.online.Params())
+}
+
+// Save writes the online network weights.
+func (a *Agent) Save(w io.Writer) error { return nn.Save(w, a.online.Params()) }
+
+// Load restores online weights and syncs the target network.
+func (a *Agent) Load(r io.Reader) error {
+	if err := nn.Load(r, a.online.Params()); err != nil {
+		return err
+	}
+	a.SyncTarget()
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

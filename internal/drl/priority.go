@@ -1,0 +1,145 @@
+package drl
+
+import (
+	"math"
+	"math/rand"
+
+	"mlcr/internal/nn"
+)
+
+// PrioritizedReplay is a proportional prioritized experience buffer
+// (Schaul et al.): transitions are sampled with probability proportional
+// to |TD error|^α, so surprising experiences replay more often. It is an
+// optional drop-in for the uniform Replay in ablation studies.
+//
+// Priorities live in a sum-tree for O(log n) sampling and updates.
+type PrioritizedReplay struct {
+	capacity int
+	alpha    float64
+	eps      float64
+
+	tree  []float64    // sum-tree over capacity leaves
+	items []Transition // leaf payloads
+	size  int
+	next  int
+	maxP  float64
+}
+
+// NewPrioritizedReplay creates a buffer with the given capacity and
+// priority exponent α (0 = uniform, 1 = fully proportional).
+func NewPrioritizedReplay(capacity int, alpha float64) *PrioritizedReplay {
+	if capacity <= 0 {
+		panic("drl: prioritized replay capacity must be positive")
+	}
+	return &PrioritizedReplay{
+		capacity: capacity,
+		alpha:    alpha,
+		eps:      1e-3,
+		tree:     make([]float64, 2*capacity),
+		items:    make([]Transition, capacity),
+		maxP:     1,
+	}
+}
+
+// Len returns the number of stored transitions.
+func (r *PrioritizedReplay) Len() int { return r.size }
+
+// Cap returns the capacity.
+func (r *PrioritizedReplay) Cap() int { return r.capacity }
+
+// Add stores a transition with the current maximum priority (so new
+// experiences are replayed at least once soon).
+func (r *PrioritizedReplay) Add(t Transition) {
+	idx := r.next
+	r.items[idx] = t
+	r.setPriority(idx, r.maxP)
+	r.next = (r.next + 1) % r.capacity
+	if r.size < r.capacity {
+		r.size++
+	}
+}
+
+// setPriority writes the (already α-exponentiated) priority of leaf idx.
+func (r *PrioritizedReplay) setPriority(idx int, p float64) {
+	node := idx + r.capacity
+	delta := p - r.tree[node]
+	for node > 0 {
+		r.tree[node] += delta
+		node /= 2
+	}
+}
+
+// Update sets the priority of a previously sampled transition index from
+// its fresh TD error.
+func (r *PrioritizedReplay) Update(idx int, tdErr float64) {
+	p := math.Pow(math.Abs(tdErr)+r.eps, r.alpha)
+	if p > r.maxP {
+		r.maxP = p
+	}
+	r.setPriority(idx, p)
+}
+
+// Sample draws n transitions proportionally to priority, returning the
+// transitions and their leaf indices (for Update).
+func (r *PrioritizedReplay) Sample(n int, rng *rand.Rand) ([]Transition, []int) {
+	if r.size == 0 {
+		panic("drl: sampling from empty prioritized replay")
+	}
+	out := make([]Transition, n)
+	idxs := make([]int, n)
+	total := r.tree[1]
+	for i := 0; i < n; i++ {
+		target := rng.Float64() * total
+		node := 1
+		for node < r.capacity {
+			left := 2 * node
+			if target < r.tree[left] {
+				node = left
+			} else {
+				target -= r.tree[left]
+				node = left + 1
+			}
+		}
+		leaf := node - r.capacity
+		if leaf >= r.size { // unfilled leaf (zero priority shouldn't hit, but guard)
+			leaf = leaf % r.size
+		}
+		out[i] = r.items[leaf]
+		idxs[i] = leaf
+	}
+	return out, idxs
+}
+
+// TrainStepPrioritized runs one DQN update sampling from a prioritized
+// buffer, refreshing priorities with the new TD errors. It mirrors
+// Agent.TrainStep but leaves the agent's uniform pool untouched.
+func (a *Agent) TrainStepPrioritized(pr *PrioritizedReplay) float64 {
+	if pr.Len() == 0 {
+		return 0
+	}
+	batch, idxs := pr.Sample(a.cfg.BatchSize, a.rng)
+	var tdSum float64
+	for i, tr := range batch {
+		target := tr.Reward
+		if !tr.Done {
+			oq := a.online.Forward(tr.Next)
+			next, _ := MaskedArgmax(oq, tr.NextMask)
+			nq := a.target.Forward(tr.Next)
+			target += a.cfg.Gamma * nq.Data[next]
+		}
+		q := a.online.Forward(tr.State)
+		td := q.Data[tr.Action] - target
+		tdSum += abs(td)
+		pr.Update(idxs[i], td)
+		grad := nn.NewTensor(1, q.Cols)
+		grad.Data[tr.Action] = 2 * td / float64(len(batch))
+		a.online.Backward(grad)
+	}
+	a.opt.Step()
+	a.updates++
+	if a.cfg.TargetSync > 0 && a.updates%a.cfg.TargetSync == 0 {
+		a.SyncTarget()
+	}
+	a.lastTD = tdSum / float64(len(batch))
+	return a.lastTD
+}

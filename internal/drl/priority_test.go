@@ -1,0 +1,146 @@
+package drl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlcr/internal/nn"
+)
+
+func TestPrioritizedAddAndLen(t *testing.T) {
+	r := NewPrioritizedReplay(4, 0.6)
+	if r.Cap() != 4 || r.Len() != 0 {
+		t.Fatal("fresh buffer wrong")
+	}
+	for i := 0; i < 6; i++ {
+		r.Add(Transition{Action: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (circular)", r.Len())
+	}
+}
+
+func TestPrioritizedSamplingBias(t *testing.T) {
+	r := NewPrioritizedReplay(4, 1)
+	for i := 0; i < 4; i++ {
+		r.Add(Transition{Action: i})
+	}
+	// Give action 2 a huge TD error, everything else tiny.
+	for i := 0; i < 4; i++ {
+		td := 0.01
+		if i == 2 {
+			td = 100
+		}
+		r.Update(i, td)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	for i := 0; i < 200; i++ {
+		batch, _ := r.Sample(4, rng)
+		for _, tr := range batch {
+			counts[tr.Action]++
+		}
+	}
+	if counts[2] < 700 { // out of 800 draws
+		t.Fatalf("high-priority transition sampled %d/800 times", counts[2])
+	}
+}
+
+func TestPrioritizedZeroAlphaUniformish(t *testing.T) {
+	r := NewPrioritizedReplay(4, 0)
+	for i := 0; i < 4; i++ {
+		r.Add(Transition{Action: i})
+		r.Update(i, float64(i+1)*10) // α=0: priorities all 1
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int]int{}
+	for i := 0; i < 500; i++ {
+		batch, _ := r.Sample(4, rng)
+		for _, tr := range batch {
+			counts[tr.Action]++
+		}
+	}
+	for a, c := range counts {
+		if c < 350 || c > 650 { // ~500 expected each
+			t.Fatalf("α=0 sampling skewed: action %d drawn %d/2000", a, c)
+		}
+	}
+}
+
+func TestPrioritizedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample did not panic")
+		}
+	}()
+	NewPrioritizedReplay(2, 1).Sample(1, rand.New(rand.NewSource(1)))
+}
+
+func TestPrioritizedZeroCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewPrioritizedReplay(0, 1)
+}
+
+// Property: the sum-tree root always equals the sum of leaf priorities.
+func TestPropertySumTree(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewPrioritizedReplay(8, 0.7)
+		for _, op := range ops {
+			if op%2 == 0 || r.size == 0 {
+				r.Add(Transition{Action: int(op)})
+			} else {
+				r.Update(int(op)%r.size, float64(op)/10)
+			}
+			var sum float64
+			for i := 0; i < r.capacity; i++ {
+				sum += r.tree[r.capacity+i]
+			}
+			if math.Abs(sum-r.tree[1]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainStepPrioritizedLearns(t *testing.T) {
+	cfg := AgentConfig{
+		Q:          QConfig{Tokens: 3, Width: tokenWidth, Actions: 2, Dim: 8, Heads: 2, Hidden: 16},
+		Gamma:      0,
+		LR:         5e-3,
+		BatchSize:  8,
+		TargetSync: 10,
+	}
+	agent := NewAgent(cfg, 5)
+	pr := NewPrioritizedReplay(64, 0.6)
+	s0 := nn.NewTensor(3, tokenWidth)
+	s1 := nn.NewTensor(3, tokenWidth)
+	s1.Fill(1)
+	// Action 0 good in s0, action 1 good in s1.
+	pr.Add(Transition{State: s0, Action: 0, Reward: 1, Done: true})
+	pr.Add(Transition{State: s0, Action: 1, Reward: -1, Done: true})
+	pr.Add(Transition{State: s1, Action: 0, Reward: -1, Done: true})
+	pr.Add(Transition{State: s1, Action: 1, Reward: 1, Done: true})
+	for i := 0; i < 300; i++ {
+		agent.TrainStepPrioritized(pr)
+	}
+	mask := []bool{true, true}
+	if a, _ := MaskedArgmax(agent.QValues(s0), mask); a != 0 {
+		t.Fatalf("s0 best action = %d, want 0", a)
+	}
+	if a, _ := MaskedArgmax(agent.QValues(s1), mask); a != 1 {
+		t.Fatalf("s1 best action = %d, want 1", a)
+	}
+	if agent.Updates() != 300 {
+		t.Fatalf("updates = %d", agent.Updates())
+	}
+}

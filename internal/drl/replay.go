@@ -1,0 +1,74 @@
+package drl
+
+import (
+	"math/rand"
+
+	"mlcr/internal/nn"
+)
+
+// Transition is one experience tuple (s_t, a_t, r_t, s_{t+1}) of
+// Algorithm 1, plus the action mask of the next state (needed to compute
+// the masked max over next-state Q-values) and a terminal flag.
+type Transition struct {
+	State    *nn.Tensor
+	Action   int
+	Reward   float64
+	Next     *nn.Tensor
+	NextMask []bool
+	Done     bool
+}
+
+// Replay is a fixed-capacity circular experience buffer. The paper notes
+// the pool "can be circularly utilized in multiple rounds": old
+// experiences are overwritten once capacity is reached.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplay creates a buffer with the given capacity.
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		panic("drl: replay capacity must be positive")
+	}
+	return &Replay{buf: make([]Transition, 0, capacity)}
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int {
+	if r.full {
+		return cap(r.buf)
+	}
+	return len(r.buf)
+}
+
+// Cap returns the buffer capacity.
+func (r *Replay) Cap() int { return cap(r.buf) }
+
+// Add stores a transition, overwriting the oldest once full.
+func (r *Replay) Add(t Transition) {
+	if r.full {
+		r.buf[r.next] = t
+		r.next = (r.next + 1) % cap(r.buf)
+		return
+	}
+	r.buf = append(r.buf, t)
+	if len(r.buf) == cap(r.buf) {
+		r.full = true
+		r.next = 0
+	}
+}
+
+// Sample draws n transitions uniformly with replacement. It panics on an
+// empty buffer.
+func (r *Replay) Sample(n int, rng *rand.Rand) []Transition {
+	if r.Len() == 0 {
+		panic("drl: sampling from empty replay buffer")
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(r.Len())]
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"time"
+
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/platform"
+	"mlcr/internal/policy"
+	"mlcr/internal/pool"
+	"mlcr/internal/report"
+)
+
+// AblationRow is one MLCR variant's result.
+type AblationRow struct {
+	Variant      string
+	TotalStartup time.Duration
+	ColdStarts   int
+}
+
+// AblationResult compares MLCR design choices on the overall workload at
+// the Tight pool size (where scheduling quality matters most).
+type AblationResult struct {
+	PoolMB float64
+	Rows   []AblationRow
+}
+
+// Ablation trains and evaluates MLCR variants that each disable one
+// design choice:
+//
+//	full            — the shipped configuration
+//	no-greedy-expl  — exploration is uniform over valid actions instead
+//	                  of biased toward the greedy heuristic
+//	no-margin       — the inference-time confidence gate is disabled
+//	shaped-reward   — potential-based reward shaping on (off by default)
+//	greedy-fallback — margin = ∞: the DQN is never consulted
+//
+// plus the two greedy reference policies.
+func Ablation(opts Options) AblationResult {
+	opts = opts.WithDefaults()
+	w := fstartbench.BuildOverall(opts.Seed, fstartbench.OverallOptions{})
+	loose := CalibrateLoose(w)
+	poolMB := loose * 0.2 // Tight
+
+	out := AblationResult{PoolMB: poolMB}
+	variants := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"full", func(*Options) {}},
+		{"no-greedy-expl", func(o *Options) { o.MLCR.GreedyExploreBias = -1 }},
+		{"no-margin", func(o *Options) { o.MLCR.DeviationMargin = -1 }},
+		{"shaped-reward", func(o *Options) { o.MLCR.ShapingWeight = 1 }},
+	}
+	for _, v := range variants {
+		vo := opts
+		v.mutate(&vo)
+		trained := TrainMLCR(w, loose, overallFracs(), vo)
+		if v.name == "full" {
+			TuneMargin(trained, w, poolMB)
+		}
+		res := RunOnce(MLCRSetup(trained), w, poolMB)
+		out.Rows = append(out.Rows, AblationRow{
+			Variant:      "MLCR/" + v.name,
+			TotalStartup: res.Metrics.TotalStartup(),
+			ColdStarts:   res.Metrics.ColdStarts(),
+		})
+	}
+	refs := []Setup{
+		CostGreedySetup(),
+		Baselines()[3], // Greedy-Match
+		Baselines()[0], // LRU
+		{Name: "Tabular-Q", Make: func() (platform.Scheduler, pool.Evictor) {
+			s := policy.NewTabularQ(opts.Seed)
+			return s, s.Evictor()
+		}},
+	}
+	for _, s := range refs {
+		res := RunOnce(s, w, poolMB)
+		out.Rows = append(out.Rows, AblationRow{
+			Variant:      s.Name,
+			TotalStartup: res.Metrics.TotalStartup(),
+			ColdStarts:   res.Metrics.ColdStarts(),
+		})
+	}
+	return out
+}
+
+// Table renders the ablation comparison.
+func (r AblationResult) Table() *report.Table {
+	t := &report.Table{
+		Title:  "Ablation — MLCR design choices (overall workload, Tight pool)",
+		Header: []string{"variant", "total startup", "cold starts"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant, row.TotalStartup, row.ColdStarts)
+	}
+	return t
+}

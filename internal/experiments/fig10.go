@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/report"
+)
+
+// Fig10Row is one policy's warm-resource usage under the Loose pool.
+type Fig10Row struct {
+	Policy      string
+	PeakPoolMB  float64
+	Evictions   int
+	Rejections  int
+	Expirations int
+}
+
+// Fig10Result is the warm-resource consumption comparison of Figure 10.
+type Fig10Result struct {
+	LooseMB float64
+	Rows    []Fig10Row
+}
+
+// Fig10 measures peak warm-pool memory and eviction activity of every
+// policy on the overall workload at the Loose pool size.
+func Fig10(opts Options) Fig10Result {
+	opts = opts.WithDefaults()
+	w := fstartbench.BuildOverall(opts.Seed, fstartbench.OverallOptions{})
+	loose := CalibrateLoose(w)
+	trained := TrainMLCR(w, loose, overallFracs(), opts)
+	TuneMargin(trained, w, loose)
+
+	out := Fig10Result{LooseMB: loose}
+	for _, s := range append(Baselines(), MLCRSetup(trained)) {
+		res := RunOnce(s, w, loose)
+		out.Rows = append(out.Rows, Fig10Row{
+			Policy:      s.Name,
+			PeakPoolMB:  res.PoolStats.PeakUsedMB,
+			Evictions:   res.PoolStats.Evictions,
+			Rejections:  res.PoolStats.Rejections,
+			Expirations: res.PoolStats.Expirations,
+		})
+	}
+	return out
+}
+
+// Table renders the resource-usage comparison.
+func (r Fig10Result) Table() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 10 — warm-pool consumption under Loose pool",
+		Header: []string{"policy", "peak pool MB", "% of pool", "evictions", "rejections", "expirations"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy, fmt.Sprintf("%.0f", row.PeakPoolMB),
+			fmt.Sprintf("%.0f%%", 100*row.PeakPoolMB/r.LooseMB),
+			row.Evictions, row.Rejections, row.Expirations)
+	}
+	t.Caption = fmt.Sprintf("Loose pool = %.0f MB", r.LooseMB)
+	return t
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"time"
+
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/report"
+)
+
+// Fig9Point is one checkpoint of the cumulative curves of Figure 9.
+type Fig9Point struct {
+	Invocations int
+	GreedyLat   time.Duration
+	MLCRLat     time.Duration
+	GreedyCold  int
+	MLCRCold    int
+}
+
+// Fig9Result compares Greedy-Match and MLCR along the arrival sequence
+// under the Loose pool size.
+type Fig9Result struct {
+	Points      []Fig9Point
+	GreedyTotal time.Duration
+	MLCRTotal   time.Duration
+}
+
+// Fig9 runs the overall workload at Loose and samples the cumulative
+// total startup latency and cold-start count every step invocations.
+func Fig9(opts Options, step int) Fig9Result {
+	opts = opts.WithDefaults()
+	if step <= 0 {
+		step = 50
+	}
+	w := fstartbench.BuildOverall(opts.Seed, fstartbench.OverallOptions{})
+	loose := CalibrateLoose(w)
+
+	gRes := RunOnce(Baselines()[3], w, loose)
+	trained := TrainMLCR(w, loose, overallFracs(), opts)
+	TuneMargin(trained, w, loose)
+	mRes := RunOnce(MLCRSetup(trained), w, loose)
+
+	gLat, gCold := gRes.Metrics.Cumulative()
+	mLat, mCold := mRes.Metrics.Cumulative()
+
+	out := Fig9Result{
+		GreedyTotal: gRes.Metrics.TotalStartup(),
+		MLCRTotal:   mRes.Metrics.TotalStartup(),
+	}
+	n := len(gLat)
+	for i := step - 1; i < n; i += step {
+		out.Points = append(out.Points, Fig9Point{
+			Invocations: i + 1,
+			GreedyLat:   gLat[i], MLCRLat: mLat[i],
+			GreedyCold: gCold[i], MLCRCold: mCold[i],
+		})
+	}
+	if n > 0 && (n%step) != 0 {
+		out.Points = append(out.Points, Fig9Point{
+			Invocations: n,
+			GreedyLat:   gLat[n-1], MLCRLat: mLat[n-1],
+			GreedyCold: gCold[n-1], MLCRCold: mCold[n-1],
+		})
+	}
+	return out
+}
+
+// Table renders the cumulative comparison.
+func (r Fig9Result) Table() *report.Table {
+	t := &report.Table{
+		Title:  "Fig 9 — cumulative startup latency and cold starts under Loose pool",
+		Header: []string{"invocations", "greedy latency", "mlcr latency", "greedy colds", "mlcr colds"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Invocations, p.GreedyLat, p.MLCRLat, p.GreedyCold, p.MLCRCold)
+	}
+	t.Caption = "totals: greedy " + report.FmtDur(r.GreedyTotal) + ", MLCR " + report.FmtDur(r.MLCRTotal)
+	return t
+}

@@ -1,0 +1,181 @@
+// Package hub synthesizes a Docker-Hub-like image catalog reproducing the
+// motivation statistics of Section III / Figure 3: pull counts of the
+// top-1000 most popular images follow a heavy-tailed (Zipf) distribution,
+// a handful of base (OS) images dominate — the four most popular hold
+// about 77% of all base-image pulls — and a few language images (Python,
+// OpenJDK, Golang) are far more popular than the rest.
+//
+// The paper derives these numbers from a crawl of hub.docker.com; this
+// package replaces the crawl with a calibrated synthetic catalog so the
+// figure can be regenerated offline and deterministically.
+package hub
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind classifies a catalog image.
+type Kind int
+
+const (
+	// Base is an operating-system base image.
+	Base Kind = iota
+	// Language is a language/toolchain image.
+	Language
+	// App is an application or service image.
+	App
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Base:
+		return "base"
+	case Language:
+		return "language"
+	case App:
+		return "app"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Entry is one catalog image with its synthetic popularity.
+type Entry struct {
+	Name  string
+	Kind  Kind
+	Pulls int64
+}
+
+// Catalog is a popularity-ranked image catalog.
+type Catalog struct {
+	Entries []Entry // sorted by Pulls, descending
+}
+
+// Calibrated base-image pull shares: the top four (ubuntu, alpine,
+// busybox, centos) sum to 0.77 of base pulls, per the paper's
+// observation.
+var baseShares = []struct {
+	name  string
+	share float64
+}{
+	{"ubuntu", 0.30},
+	{"alpine", 0.22},
+	{"busybox", 0.14},
+	{"centos", 0.11},
+	{"debian", 0.08},
+	{"fedora", 0.05},
+	{"amazonlinux", 0.04},
+	{"rockylinux", 0.03},
+	{"archlinux", 0.02},
+	{"opensuse", 0.01},
+}
+
+// Calibrated language-image pull shares: python, openjdk and golang
+// dominate (Figure 3's right panel).
+var langShares = []struct {
+	name  string
+	share float64
+}{
+	{"python", 0.28},
+	{"openjdk", 0.22},
+	{"golang", 0.17},
+	{"node", 0.13},
+	{"php", 0.07},
+	{"ruby", 0.05},
+	{"rust", 0.04},
+	{"erlang", 0.02},
+	{"perl", 0.01},
+	{"haskell", 0.01},
+}
+
+// Generate builds a catalog of n images (the paper uses n = 1000):
+// base and language images with the calibrated shares above, plus
+// Zipf-distributed application images filling the rest. Deterministic in
+// seed.
+func Generate(seed int64, n int) Catalog {
+	if n < len(baseShares)+len(langShares) {
+		panic(fmt.Sprintf("hub: n = %d too small for the calibrated catalog", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Total pull volume split: bases take ~35%, languages ~25%, apps
+	// the rest — the proportions only shape the figure, the headline
+	// statistic (top-4 base share) is within the base pool.
+	const totalPulls = 5e9
+	var entries []Entry
+	for _, b := range baseShares {
+		entries = append(entries, Entry{Name: b.name, Kind: Base,
+			Pulls: int64(b.share * 0.35 * totalPulls * jitter(rng))})
+	}
+	for _, l := range langShares {
+		entries = append(entries, Entry{Name: l.name, Kind: Language,
+			Pulls: int64(l.share * 0.25 * totalPulls * jitter(rng))})
+	}
+	// Application images: Zipf-ranked tail.
+	remaining := n - len(entries)
+	appTotal := 0.40 * totalPulls
+	var hsum float64
+	for r := 1; r <= remaining; r++ {
+		hsum += 1 / math.Pow(float64(r), 1.1)
+	}
+	for r := 1; r <= remaining; r++ {
+		share := (1 / math.Pow(float64(r), 1.1)) / hsum
+		entries = append(entries, Entry{
+			Name:  fmt.Sprintf("app-%03d", r),
+			Kind:  App,
+			Pulls: int64(share * appTotal * jitter(rng)),
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Pulls != entries[j].Pulls {
+			return entries[i].Pulls > entries[j].Pulls
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	return Catalog{Entries: entries}
+}
+
+// jitter returns a multiplicative noise factor in [0.97, 1.03] — enough
+// to make the synthetic figure look organic without disturbing the
+// calibrated shares.
+func jitter(rng *rand.Rand) float64 { return 0.97 + rng.Float64()*0.06 }
+
+// ByKind returns entries of one kind, most-pulled first.
+func (c Catalog) ByKind(k Kind) []Entry {
+	var out []Entry
+	for _, e := range c.Entries {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TopShare returns the fraction of kind-k pulls held by that kind's top
+// m images — Figure 3's headline is TopShare(Base, 4) ≈ 0.77.
+func (c Catalog) TopShare(k Kind, m int) float64 {
+	entries := c.ByKind(k)
+	var total, top int64
+	for i, e := range entries {
+		total += e.Pulls
+		if i < m {
+			top += e.Pulls
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// TotalPulls sums pulls over the whole catalog.
+func (c Catalog) TotalPulls() int64 {
+	var s int64
+	for _, e := range c.Entries {
+		s += e.Pulls
+	}
+	return s
+}

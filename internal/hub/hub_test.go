@@ -1,0 +1,112 @@
+package hub
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestGenerateSizeAndOrder(t *testing.T) {
+	c := Generate(1, 1000)
+	if len(c.Entries) != 1000 {
+		t.Fatalf("catalog has %d entries, want 1000", len(c.Entries))
+	}
+	if !sort.SliceIsSorted(c.Entries, func(i, j int) bool {
+		return c.Entries[i].Pulls > c.Entries[j].Pulls ||
+			(c.Entries[i].Pulls == c.Entries[j].Pulls && c.Entries[i].Name < c.Entries[j].Name)
+	}) {
+		t.Fatal("catalog not sorted by pulls")
+	}
+}
+
+func TestTopFourBaseShare(t *testing.T) {
+	c := Generate(1, 1000)
+	share := c.TopShare(Base, 4)
+	// The paper reports 77%; calibration jitter allows a small band.
+	if share < 0.72 || share > 0.82 {
+		t.Fatalf("top-4 base share = %.3f, want ≈ 0.77", share)
+	}
+}
+
+func TestTopFourBasesAreExpected(t *testing.T) {
+	c := Generate(1, 1000)
+	bases := c.ByKind(Base)
+	want := map[string]bool{"ubuntu": true, "alpine": true, "busybox": true, "centos": true}
+	for i := 0; i < 4; i++ {
+		if !want[bases[i].Name] {
+			t.Fatalf("unexpected top base %q", bases[i].Name)
+		}
+	}
+}
+
+func TestLanguagePopularity(t *testing.T) {
+	c := Generate(1, 1000)
+	langs := c.ByKind(Language)
+	top3 := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		top3[langs[i].Name] = true
+	}
+	for _, name := range []string{"python", "openjdk", "golang"} {
+		if !top3[name] {
+			t.Fatalf("%s not among top-3 languages: %v", name, langs[:3])
+		}
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	c := Generate(1, 1000)
+	apps := c.ByKind(App)
+	if len(apps) < 900 {
+		t.Fatalf("only %d app images", len(apps))
+	}
+	// Zipf: the head must dwarf the tail.
+	if apps[0].Pulls < 50*apps[len(apps)-1].Pulls {
+		t.Fatalf("tail not heavy: head %d vs tail %d", apps[0].Pulls, apps[len(apps)-1].Pulls)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, b := Generate(7, 500), Generate(7, 500)
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatal("same seed produced different catalogs")
+		}
+	}
+	c := Generate(8, 500)
+	diff := false
+	for i := range a.Entries {
+		if a.Entries[i] != c.Entries[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical catalogs")
+	}
+}
+
+func TestGenerateTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny catalog did not panic")
+		}
+	}()
+	Generate(1, 5)
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Base: "base", Language: "language", App: "app", Kind(7): "Kind(7)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestTotalPullsPositive(t *testing.T) {
+	c := Generate(1, 100)
+	if c.TotalPulls() <= 0 {
+		t.Fatal("no pulls in catalog")
+	}
+	if got := (Catalog{}).TopShare(Base, 4); got != 0 {
+		t.Fatalf("empty catalog TopShare = %v", got)
+	}
+}

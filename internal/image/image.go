@@ -1,0 +1,287 @@
+// Package image models container images as three-level package sets, the
+// core data structure behind Multi-Level Container Reuse (MLCR).
+//
+// A function image usually contains many packages (several to several
+// hundred). Following Section IV-A of the paper, every package belongs to
+// one of three levels:
+//
+//	L1 — operating-system packages (the base image),
+//	L2 — language packages (interpreter/compiler and standard toolchain),
+//	L3 — runtime packages (application-specific libraries).
+//
+// Two images match at level k when their package lists are equal at every
+// level up to and including k; the comparison is performed level-by-level
+// and prunes as soon as a level differs (Table I).
+package image
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Level identifies one of the three package levels.
+type Level int
+
+const (
+	// OS is the base operating-system level (L1).
+	OS Level = iota + 1
+	// Language is the language/toolchain level (L2).
+	Language
+	// Runtime is the application-specific runtime level (L3).
+	Runtime
+)
+
+// Levels lists the three levels in matching order.
+var Levels = [3]Level{OS, Language, Runtime}
+
+func (l Level) String() string {
+	switch l {
+	case OS:
+		return "OS"
+	case Language:
+		return "language"
+	case Runtime:
+		return "runtime"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Package is a single installable unit inside an image, together with the
+// cost model used by the simulator: how long it takes to pull its bytes
+// from a registry and to install it into a container.
+type Package struct {
+	Name    string
+	Version string
+	Level   Level
+	// SizeMB is the on-disk size of the package in megabytes. It drives
+	// both pull time and the memory footprint of warm containers.
+	SizeMB float64
+	// Pull is the time to fetch the package from the code registry.
+	Pull time.Duration
+	// Install is the time to unpack/configure the package in a container.
+	Install time.Duration
+}
+
+// Key returns the identity of a package: name plus version. Two packages
+// with the same Key are interchangeable across images.
+func (p Package) Key() string { return p.Name + "@" + p.Version }
+
+// Image is a container image described by its three package levels.
+// The zero value is an empty image.
+type Image struct {
+	// Name is a human-readable identifier (e.g. "fn13-ml-inference").
+	Name string
+	// Pkgs holds all packages; order within a level is irrelevant for
+	// matching (levels are compared as sets) but kept stable for display.
+	Pkgs []Package
+
+	// levelKeys caches the canonical per-level identity strings; level
+	// matching is the simulator's hottest path. Zero-value Images
+	// compute keys on demand.
+	levelKeys [3]string
+	keysSet   bool
+}
+
+// NewImage builds an image and normalizes package order (by level, then
+// key) so that images constructed from differently-ordered slices compare
+// equal.
+func NewImage(name string, pkgs ...Package) Image {
+	cp := make([]Package, len(pkgs))
+	copy(cp, pkgs)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Level != cp[j].Level {
+			return cp[i].Level < cp[j].Level
+		}
+		return cp[i].Key() < cp[j].Key()
+	})
+	im := Image{Name: name, Pkgs: cp}
+	for i, l := range Levels {
+		im.levelKeys[i] = im.computeLevelKey(l)
+	}
+	im.keysSet = true
+	return im
+}
+
+// AtLevel returns the packages of one level, in normalized order.
+func (im Image) AtLevel(l Level) []Package {
+	var out []Package
+	for _, p := range im.Pkgs {
+		if p.Level == l {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LevelKey returns a canonical string identifying the package set of one
+// level. Two images share a level exactly when their LevelKeys are equal.
+func (im Image) LevelKey(l Level) string {
+	if im.keysSet {
+		return im.levelKeys[int(l)-1]
+	}
+	return im.computeLevelKey(l)
+}
+
+func (im Image) computeLevelKey(l Level) string {
+	ps := im.AtLevel(l)
+	keys := make([]string, len(ps))
+	for i, p := range ps {
+		keys[i] = p.Key()
+	}
+	return strings.Join(keys, ",")
+}
+
+// LevelSizeMB returns the total package size of one level.
+func (im Image) LevelSizeMB(l Level) float64 {
+	var s float64
+	for _, p := range im.AtLevel(l) {
+		s += p.SizeMB
+	}
+	return s
+}
+
+// SizeMB returns the total size of all packages in the image.
+func (im Image) SizeMB() float64 {
+	var s float64
+	for _, p := range im.Pkgs {
+		s += p.SizeMB
+	}
+	return s
+}
+
+// PullTime returns the total time to pull every package at the given
+// level from the registry.
+func (im Image) PullTime(l Level) time.Duration {
+	var d time.Duration
+	for _, p := range im.AtLevel(l) {
+		d += p.Pull
+	}
+	return d
+}
+
+// InstallTime returns the total time to install every package at the
+// given level.
+func (im Image) InstallTime(l Level) time.Duration {
+	var d time.Duration
+	for _, p := range im.AtLevel(l) {
+		d += p.Install
+	}
+	return d
+}
+
+// PackageSet returns the set of package keys across all levels.
+func (im Image) PackageSet() map[string]bool {
+	s := make(map[string]bool, len(im.Pkgs))
+	for _, p := range im.Pkgs {
+		s[p.Key()] = true
+	}
+	return s
+}
+
+// Jaccard computes the Jaccard similarity coefficient |A∩B|/|A∪B| between
+// the package sets of two images (Section V, Metric 1). Two empty images
+// have similarity 1.
+func Jaccard(a, b Image) float64 {
+	sa, sb := a.PackageSet(), b.PackageSet()
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range sa {
+		if sb[k] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// AveragePairwiseJaccard returns the mean Jaccard similarity over all
+// unordered pairs of distinct images. It returns 0 for fewer than two
+// images.
+func AveragePairwiseJaccard(images []Image) float64 {
+	n := len(images)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += Jaccard(images[i], images[j])
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// IntersectionSizeVariance computes the paper's literal Metric-2 formula
+// Var(P1 ∩ P2 ∩ … ∩ Pn): the variance of the sizes of packages common to
+// every image. For disjoint stacks the intersection is only the shared
+// base packages, so the value is small; SizeVariance (over all packages)
+// is the behaviourally meaningful variant used to label the LO-Var and
+// HI-Var workloads (see internal/fstartbench).
+func IntersectionSizeVariance(images []Image) float64 {
+	if len(images) == 0 {
+		return 0
+	}
+	inter := images[0].PackageSet()
+	for _, im := range images[1:] {
+		next := im.PackageSet()
+		for k := range inter {
+			if !next[k] {
+				delete(inter, k)
+			}
+		}
+	}
+	var sizes []float64
+	for _, p := range images[0].Pkgs {
+		if inter[p.Key()] {
+			sizes = append(sizes, p.SizeMB)
+		}
+	}
+	if len(sizes) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, s := range sizes {
+		mean += s
+	}
+	mean /= float64(len(sizes))
+	var v float64
+	for _, s := range sizes {
+		d := s - mean
+		v += d * d
+	}
+	return v / float64(len(sizes))
+}
+
+// SizeVariance returns the population variance of the individual package
+// sizes across the given images (Section V, Metric 2). Packages appearing
+// in several images are counted once per image, matching the paper's
+// per-workload accounting.
+func SizeVariance(images []Image) float64 {
+	var sizes []float64
+	for _, im := range images {
+		for _, p := range im.Pkgs {
+			sizes = append(sizes, p.SizeMB)
+		}
+	}
+	if len(sizes) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, s := range sizes {
+		mean += s
+	}
+	mean /= float64(len(sizes))
+	var v float64
+	for _, s := range sizes {
+		d := s - mean
+		v += d * d
+	}
+	return v / float64(len(sizes))
+}

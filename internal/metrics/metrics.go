@@ -1,0 +1,218 @@
+// Package metrics collects and summarizes simulation results: startup
+// latency distributions, cold-start counts, per-level reuse counts and
+// time series, in the forms the paper's figures report (totals, averages,
+// box-plot statistics and cumulative curves).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is one recorded invocation outcome.
+type Sample struct {
+	Seq     int
+	FnID    int
+	Arrival time.Duration
+	Startup time.Duration
+	Cold    bool
+	// Level is the match level of a warm start (1..3); 0 for cold.
+	Level int
+}
+
+// Collector accumulates invocation outcomes during a run.
+type Collector struct {
+	samples []Sample
+	total   time.Duration
+	cold    int
+	byLevel [4]int
+}
+
+// Record adds one invocation outcome.
+func (c *Collector) Record(s Sample) {
+	c.samples = append(c.samples, s)
+	c.total += s.Startup
+	if s.Cold {
+		c.cold++
+	}
+	if s.Level >= 0 && s.Level < len(c.byLevel) {
+		c.byLevel[s.Level]++
+	}
+}
+
+// Count returns the number of recorded invocations.
+func (c *Collector) Count() int { return len(c.samples) }
+
+// TotalStartup returns the summed startup latency (Fig 8a, Fig 11).
+func (c *Collector) TotalStartup() time.Duration { return c.total }
+
+// AvgStartup returns the mean startup latency.
+func (c *Collector) AvgStartup() time.Duration {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	return c.total / time.Duration(len(c.samples))
+}
+
+// ColdStarts returns the number of cold starts (Fig 8b).
+func (c *Collector) ColdStarts() int { return c.cold }
+
+// WarmStarts returns the number of warm starts.
+func (c *Collector) WarmStarts() int { return len(c.samples) - c.cold }
+
+// ByLevel returns invocation counts indexed by match level
+// (0 = cold, 1..3 = L1..L3 warm starts).
+func (c *Collector) ByLevel() [4]int { return c.byLevel }
+
+// Samples returns the recorded samples in arrival order.
+func (c *Collector) Samples() []Sample { return c.samples }
+
+// Latencies returns the startup latencies in seconds, in arrival order.
+func (c *Collector) Latencies() []float64 {
+	out := make([]float64, len(c.samples))
+	for i, s := range c.samples {
+		out[i] = s.Startup.Seconds()
+	}
+	return out
+}
+
+// Cumulative returns the running totals after each invocation: cumulative
+// startup latency and cumulative cold starts (the two curves of Fig 9).
+func (c *Collector) Cumulative() (latency []time.Duration, colds []int) {
+	latency = make([]time.Duration, len(c.samples))
+	colds = make([]int, len(c.samples))
+	var sum time.Duration
+	n := 0
+	for i, s := range c.samples {
+		sum += s.Startup
+		if s.Cold {
+			n++
+		}
+		latency[i] = sum
+		colds[i] = n
+	}
+	return latency, colds
+}
+
+// Box holds the five-number summary used by the paper's box charts.
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+	N                        int
+}
+
+// BoxOf computes box statistics over values. Quartiles use linear
+// interpolation between order statistics (type-7, the numpy default).
+func BoxOf(values []float64) Box {
+	if len(values) == 0 {
+		return Box{}
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return Box{
+		Min:    v[0],
+		Q1:     quantile(v, 0.25),
+		Median: quantile(v, 0.5),
+		Q3:     quantile(v, 0.75),
+		Max:    v[len(v)-1],
+		Mean:   sum / float64(len(v)),
+		N:      len(v),
+	}
+}
+
+// quantile computes the q-th quantile of sorted v by linear interpolation.
+func quantile(v []float64, q float64) float64 {
+	if len(v) == 1 {
+		return v[0]
+	}
+	pos := q * float64(len(v)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return v[lo]
+	}
+	frac := pos - float64(lo)
+	return v[lo]*(1-frac) + v[hi]*frac
+}
+
+// Percentile returns the p-th percentile (0..100) of values.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of [0,100]", p))
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	return quantile(v, p/100)
+}
+
+// Mean returns the arithmetic mean of values (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// Stddev returns the population standard deviation of values.
+func Stddev(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := Mean(values)
+	var s float64
+	for _, v := range values {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(values)))
+}
+
+// Series tracks the time evolution of a scalar (e.g. pool memory) and its
+// peak, sampled at irregular virtual times.
+type Series struct {
+	T    []time.Duration
+	V    []float64
+	peak float64
+}
+
+// Observe appends a sample and updates the peak.
+func (s *Series) Observe(t time.Duration, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+	if v > s.peak {
+		s.peak = v
+	}
+}
+
+// Peak returns the maximum observed value.
+func (s *Series) Peak() float64 { return s.peak }
+
+// Last returns the most recent value, or 0 when empty.
+func (s *Series) Last() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// Reduction returns the fractional reduction of got versus base:
+// (base-got)/base. It returns 0 when base is 0.
+func Reduction(base, got time.Duration) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(base-got) / float64(base)
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MultiHeadAttention is a standard scaled dot-product self-attention
+// block (Vaswani et al.) with a residual connection:
+//
+//	y = x + Concat(head_1..head_h) Wo
+//	head_i = softmax(Q_i K_iᵀ / √d_k) V_i
+//
+// where Q = xWq, K = xWk, V = xWv and d_k = dim/heads. The residual
+// connection keeps deep Q-networks trainable; the paper stacks two of
+// these blocks in its policy network (Section IV-C).
+type MultiHeadAttention struct {
+	Dim, Heads     int
+	Wq, Wk, Wv, Wo *Param
+
+	// forward caches
+	x        *Tensor
+	q, k, v  *Tensor
+	attn     []*Tensor // per-head softmax outputs [seq, seq]
+	headsOut *Tensor   // concatenated head outputs [seq, dim]
+}
+
+// NewMultiHeadAttention creates an attention block. dim must be divisible
+// by heads.
+func NewMultiHeadAttention(name string, dim, heads int, rng *rand.Rand) *MultiHeadAttention {
+	if heads <= 0 || dim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by %d heads", dim, heads))
+	}
+	m := &MultiHeadAttention{Dim: dim, Heads: heads,
+		Wq: newParam(name+".wq", dim, dim),
+		Wk: newParam(name+".wk", dim, dim),
+		Wv: newParam(name+".wv", dim, dim),
+		Wo: newParam(name+".wo", dim, dim),
+	}
+	std := math.Sqrt(1 / float64(dim))
+	for _, p := range []*Param{m.Wq, m.Wk, m.Wv, m.Wo} {
+		p.W.Randn(rng, std)
+	}
+	return m
+}
+
+// colSlice copies columns [start, start+width) of t into a new tensor.
+func colSlice(t *Tensor, start, width int) *Tensor {
+	out := NewTensor(t.Rows, width)
+	for r := 0; r < t.Rows; r++ {
+		copy(out.Row(r), t.Row(r)[start:start+width])
+	}
+	return out
+}
+
+// addColSlice adds src into columns [start, start+width) of dst.
+func addColSlice(dst, src *Tensor, start int) {
+	for r := 0; r < dst.Rows; r++ {
+		drow := dst.Row(r)[start : start+src.Cols]
+		for i, v := range src.Row(r) {
+			drow[i] += v
+		}
+	}
+}
+
+// Forward implements Layer. x is [seq, dim].
+func (m *MultiHeadAttention) Forward(x *Tensor) *Tensor {
+	if x.Cols != m.Dim {
+		panic(fmt.Sprintf("nn: attention expects width %d, got %d", m.Dim, x.Cols))
+	}
+	m.x = x
+	m.q = MatMul(x, m.Wq.W)
+	m.k = MatMul(x, m.Wk.W)
+	m.v = MatMul(x, m.Wv.W)
+	dk := m.Dim / m.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+	m.attn = make([]*Tensor, m.Heads)
+	m.headsOut = NewTensor(x.Rows, m.Dim)
+	for h := 0; h < m.Heads; h++ {
+		start := h * dk
+		qh := colSlice(m.q, start, dk)
+		kh := colSlice(m.k, start, dk)
+		vh := colSlice(m.v, start, dk)
+		scores := MatMulT(qh, kh).Scale(scale) // [seq, seq]
+		a := SoftmaxRows(scores)
+		m.attn[h] = a
+		addColSlice(m.headsOut, MatMul(a, vh), start)
+	}
+	out := MatMul(m.headsOut, m.Wo.W)
+	AddInto(out, x) // residual
+	return out
+}
+
+// Backward implements Layer.
+func (m *MultiHeadAttention) Backward(dy *Tensor) *Tensor {
+	// Residual path.
+	dx := dy.Clone()
+
+	// Output projection.
+	AddInto(m.Wo.Grad, TMatMul(m.headsOut, dy))
+	dHeads := MatMulT(dy, m.Wo.W) // [seq, dim]
+
+	dk := m.Dim / m.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+	dq := NewTensor(m.x.Rows, m.Dim)
+	dkT := NewTensor(m.x.Rows, m.Dim)
+	dv := NewTensor(m.x.Rows, m.Dim)
+	for h := 0; h < m.Heads; h++ {
+		start := h * dk
+		dHh := colSlice(dHeads, start, dk)
+		qh := colSlice(m.q, start, dk)
+		kh := colSlice(m.k, start, dk)
+		vh := colSlice(m.v, start, dk)
+		a := m.attn[h]
+
+		dA := MatMulT(dHh, vh) // [seq, seq]
+		dVh := TMatMul(a, dHh) // [seq, dk]
+		dS := softmaxBackwardRows(a, dA).Scale(scale)
+		dQh := MatMul(dS, kh)  // [seq, dk]
+		dKh := TMatMul(dS, qh) // [seq, dk]
+
+		addColSlice(dq, dQh, start)
+		addColSlice(dkT, dKh, start)
+		addColSlice(dv, dVh, start)
+	}
+
+	AddInto(m.Wq.Grad, TMatMul(m.x, dq))
+	AddInto(m.Wk.Grad, TMatMul(m.x, dkT))
+	AddInto(m.Wv.Grad, TMatMul(m.x, dv))
+
+	AddInto(dx, MatMulT(dq, m.Wq.W))
+	AddInto(dx, MatMulT(dkT, m.Wk.W))
+	AddInto(dx, MatMulT(dv, m.Wv.W))
+	return dx
+}
+
+// Params implements Layer.
+func (m *MultiHeadAttention) Params() []*Param {
+	return []*Param{m.Wq, m.Wk, m.Wv, m.Wo}
+}

@@ -1,0 +1,47 @@
+package nn
+
+// SGD is plain stochastic gradient descent with optional momentum — the
+// simpler alternative to Adam, kept for optimizer ablations and as a
+// reference implementation.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	params []*Param
+	vel    []*Tensor
+	step   int
+}
+
+// NewSGD creates an optimizer over params.
+func NewSGD(params []*Param, lr, momentum float64) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, params: params}
+	if momentum != 0 {
+		s.vel = make([]*Tensor, len(params))
+		for i, p := range params {
+			s.vel[i] = NewTensor(p.W.Rows, p.W.Cols)
+		}
+	}
+	return s
+}
+
+// Step applies one update and zeroes gradients.
+func (s *SGD) Step() {
+	s.step++
+	for i, p := range s.params {
+		if s.vel != nil {
+			v := s.vel[i]
+			for j, g := range p.Grad.Data {
+				v.Data[j] = s.Momentum*v.Data[j] - s.LR*g
+				p.W.Data[j] += v.Data[j]
+			}
+		} else {
+			for j, g := range p.Grad.Data {
+				p.W.Data[j] -= s.LR * g
+			}
+		}
+		p.Grad.Zero()
+	}
+}
+
+// Steps returns the number of updates applied.
+func (s *SGD) Steps() int { return s.step }

@@ -1,0 +1,219 @@
+// Package nn is a small, dependency-free neural-network library built for
+// the DQN container scheduler: dense float64 tensors, layers with explicit
+// backward passes (linear, ReLU, layer normalization, multi-head
+// attention), the Adam optimizer, and gob-based model serialization.
+//
+// The library trades generality for clarity and determinism. Layers
+// process one sample at a time ([rows, cols] matrices, where rows is a
+// token/sequence dimension); minibatching is done by accumulating
+// gradients across per-sample backward passes, which is exact for the
+// sum-of-losses objective and keeps every op simple enough to verify with
+// finite-difference tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix of float64.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewTensor allocates a zeroed rows×cols tensor.
+func NewTensor(rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("nn: invalid tensor shape %dx%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols tensor.
+func FromSlice(data []float64, rows, cols int) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("nn: data length %d != %d x %d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// RowVector wraps data as a 1×n tensor (not copied).
+func RowVector(data []float64) *Tensor { return FromSlice(data, 1, len(data)) }
+
+// At returns element (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set assigns element (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+
+// Row returns a view of row r (shared storage).
+func (t *Tensor) Row(r int) []float64 { return t.Data[r*t.Cols : (r+1)*t.Cols] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := NewTensor(t.Rows, t.Cols)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Randn fills the tensor with Gaussian noise scaled by std.
+func (t *Tensor) Randn(rng *rand.Rand, std float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// MatMul returns a×b. Panics on shape mismatch.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewTensor(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns a×bᵀ.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmulT %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewTensor(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ×b.
+func TMatMul(a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: tmatmul (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewTensor(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// AddInto adds b into a element-wise (a += b).
+func AddInto(a, b *Tensor) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: add %dx%d += %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// SoftmaxRows applies softmax independently to each row, returning a new
+// tensor. Numerically stable (max-shifted).
+func SoftmaxRows(t *Tensor) *Tensor {
+	out := NewTensor(t.Rows, t.Cols)
+	for r := 0; r < t.Rows; r++ {
+		row := t.Row(r)
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		orow := out.Row(r)
+		for i, v := range row {
+			e := math.Exp(v - max)
+			orow[i] = e
+			sum += e
+		}
+		for i := range orow {
+			orow[i] /= sum
+		}
+	}
+	return out
+}
+
+// softmaxBackwardRows computes the gradient through a row-wise softmax:
+// dx_i = y_i * (dy_i - Σ_j dy_j y_j) for each row, where y is the softmax
+// output.
+func softmaxBackwardRows(y, dy *Tensor) *Tensor {
+	dx := NewTensor(y.Rows, y.Cols)
+	for r := 0; r < y.Rows; r++ {
+		yr, dyr, dxr := y.Row(r), dy.Row(r), dx.Row(r)
+		var dot float64
+		for i := range yr {
+			dot += dyr[i] * yr[i]
+		}
+		for i := range yr {
+			dxr[i] = yr[i] * (dyr[i] - dot)
+		}
+	}
+	return dx
+}
+
+// Argmax returns the index of the maximum element of a 1×n or n×1 tensor
+// flattened in row-major order.
+func Argmax(t *Tensor) int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,328 @@
+// Package platform simulates an OpenWhisk-style serverless platform: a
+// stream of function invocations arrives, a pluggable scheduler decides
+// for each one whether to reuse a warm container from the fix-sized pool
+// or to cold-start a fresh sandbox, and finished containers are offered
+// back to the pool (Section III-A, Figure 4).
+//
+// The simulation is a deterministic discrete-event run over virtual time;
+// identical inputs produce identical outputs bit-for-bit.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"mlcr/internal/container"
+	"mlcr/internal/core"
+	"mlcr/internal/metrics"
+	"mlcr/internal/pool"
+	"mlcr/internal/registry"
+	"mlcr/internal/sim"
+	"mlcr/internal/workload"
+)
+
+// ColdStart is the scheduler decision value meaning "create a new
+// container" rather than reusing a pooled one.
+const ColdStart = -1
+
+// Env is the read-only view of the platform a scheduler sees when making
+// a decision. It corresponds to the paper's DRL "state": cluster-wide
+// information plus per-container details reachable through Pool.
+type Env struct {
+	// Now is the current virtual time (the arrival being scheduled).
+	Now time.Duration
+	// Pool is the warm-container pool; schedulers may inspect idle
+	// containers but must not mutate the pool.
+	Pool *pool.Pool
+	// RunningMB is the memory held by currently busy containers.
+	RunningMB float64
+	// Seen is the number of invocations scheduled so far in this run.
+	Seen int
+	// PrevArrival is the arrival time of the previous invocation (zero
+	// for the first), exposing inter-arrival gaps to learned schedulers.
+	PrevArrival time.Duration
+	// Rate is a smoothed arrival-rate estimate in invocations/second.
+	Rate float64
+}
+
+// Result reports the realized outcome of one scheduling decision.
+type Result struct {
+	// ContainerID is the serving container.
+	ContainerID int
+	// Cold reports whether a fresh sandbox was created.
+	Cold bool
+	// Level is the match level of a warm start (NoMatch when Cold).
+	Level core.MatchLevel
+	// Startup is the startup phase breakdown; Startup.Total() is the
+	// latency the paper's figures aggregate.
+	Startup container.Startup
+}
+
+// Scheduler decides container reuse for each invocation. Implementations
+// must be deterministic; all randomness must come from seeded sources.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Schedule returns the ID of an idle pooled container to reuse, or
+	// ColdStart. Returning a container whose image does not match the
+	// invocation at any level is a scheduling bug and panics.
+	Schedule(env Env, inv *workload.Invocation) int
+	// OnResult is called immediately after the decision is applied,
+	// with the realized startup latency (the DRL reward signal).
+	OnResult(env Env, inv *workload.Invocation, res Result)
+}
+
+// Config parameterizes a platform run.
+type Config struct {
+	// PoolCapacityMB is the warm pool size; <= 0 means unlimited (used
+	// to calibrate the Loose setting).
+	PoolCapacityMB float64
+	// Evictor is the pool eviction policy; nil defaults to LRU.
+	Evictor pool.Evictor
+	// RateAlpha is the smoothing factor of the arrival-rate EMA exposed
+	// to schedulers; 0 defaults to 0.2.
+	RateAlpha float64
+	// PackageCache, when non-nil, is a node-local registry cache:
+	// realized pull times come from the cache (hits are served at local
+	// speed) instead of the static per-package registry times.
+	// Schedulers still decide on the static estimates, modelling that
+	// the platform cannot know cache contents ahead of admission.
+	PackageCache *registry.Cache
+}
+
+// RunResult aggregates everything a platform run produced.
+type RunResult struct {
+	Policy string
+	// Metrics holds per-invocation samples and aggregates.
+	Metrics metrics.Collector
+	// PoolStats reports evictions, rejections, expiries and peak pool
+	// memory (Fig 10).
+	PoolStats pool.Stats
+	// CleanerOps counts volume operations by the container cleaner.
+	CleanerOps container.VolumeOps
+	// PeakRunningMB is the highest memory concurrently held by busy
+	// containers.
+	PeakRunningMB float64
+	// PeakAliveMB is the highest memory held by all alive containers —
+	// busy plus warm-pooled. With an unlimited pool this is the
+	// calibration value for the paper's Loose setting ("the peak memory
+	// size of all running containers in the cluster", where keep-alive
+	// containers remain running).
+	PeakAliveMB float64
+	// PoolSeries tracks pool memory over time.
+	PoolSeries metrics.Series
+	// ContainersCreated counts cold-started sandboxes.
+	ContainersCreated int
+}
+
+// Platform wires the simulator together for one run.
+type Platform struct {
+	cfg     Config
+	sched   Scheduler
+	engine  *sim.Engine
+	pool    *pool.Pool
+	cleaner *container.Cleaner
+
+	nextID    int
+	runningMB float64
+	seen      int
+	prevArr   time.Duration
+	rate      workload.RateEMA
+
+	res RunResult
+}
+
+// New builds a platform with the given configuration and scheduler.
+func New(cfg Config, sched Scheduler) *Platform {
+	if sched == nil {
+		panic("platform: nil scheduler")
+	}
+	ev := cfg.Evictor
+	if ev == nil {
+		ev = pool.LRU{}
+	}
+	alpha := cfg.RateAlpha
+	if alpha == 0 {
+		alpha = 0.2
+	}
+	p := &Platform{
+		cfg:     cfg,
+		sched:   sched,
+		engine:  sim.NewEngine(),
+		pool:    pool.New(cfg.PoolCapacityMB, ev),
+		cleaner: &container.Cleaner{},
+		nextID:  1,
+	}
+	p.rate.Alpha = alpha
+	p.res.Policy = sched.Name()
+	return p
+}
+
+// Pool exposes the warm pool (read-only use by callers/tests).
+func (p *Platform) Pool() *pool.Pool { return p.pool }
+
+// Run replays the workload to completion and returns the results. A
+// platform instance runs exactly once.
+func (p *Platform) Run(w workload.Workload) *RunResult {
+	if err := w.Validate(); err != nil {
+		panic(fmt.Sprintf("platform: %v", err))
+	}
+	for i := range w.Invocations {
+		inv := &w.Invocations[i]
+		p.engine.Schedule(inv.Arrival, "arrival", func(*sim.Engine) {
+			p.arrive(inv)
+		})
+	}
+	p.engine.Run()
+	p.res.PoolStats = p.pool.Stats()
+	p.res.CleanerOps = p.cleaner.Ops()
+	return &p.res
+}
+
+func (p *Platform) env() Env {
+	return Env{
+		Now:         p.engine.Now(),
+		Pool:        p.pool,
+		RunningMB:   p.runningMB,
+		Seen:        p.seen,
+		PrevArrival: p.prevArr,
+		Rate:        p.rate.Rate(),
+	}
+}
+
+// Invoke processes a single invocation interactively: the engine first
+// drains completions up to the arrival time, then the invocation is
+// scheduled and its outcome returned. Arrival times must be
+// non-decreasing across calls. Mixing Invoke with Run on the same
+// platform is not supported.
+func (p *Platform) Invoke(inv *workload.Invocation) Result {
+	if inv.Fn == nil {
+		panic("platform: Invoke with nil function")
+	}
+	if inv.Arrival < p.engine.Now() {
+		panic(fmt.Sprintf("platform: Invoke at %v before now %v", inv.Arrival, p.engine.Now()))
+	}
+	p.engine.RunUntil(inv.Arrival)
+	res := p.arrive(inv)
+	p.res.PoolStats = p.pool.Stats()
+	p.res.CleanerOps = p.cleaner.Ops()
+	return res
+}
+
+// Drain completes all outstanding executions and returns the final
+// results (interactive mode's equivalent of Run finishing).
+func (p *Platform) Drain() *RunResult {
+	p.engine.Run()
+	p.res.PoolStats = p.pool.Stats()
+	p.res.CleanerOps = p.cleaner.Ops()
+	return &p.res
+}
+
+// Now returns the platform's current virtual time.
+func (p *Platform) Now() time.Duration { return p.engine.Now() }
+
+// Results returns the platform's accumulated results so far.
+func (p *Platform) Results() *RunResult { return &p.res }
+
+// arrive handles one invocation: expiry, scheduling, startup accounting
+// and completion scheduling.
+func (p *Platform) arrive(inv *workload.Invocation) Result {
+	now := p.engine.Now()
+	p.pool.Expire(now)
+	p.rate.Observe(now)
+
+	env := p.env()
+	choice := p.sched.Schedule(env, inv)
+
+	var (
+		c   *container.Container
+		s   container.Startup
+		lvl core.MatchLevel
+	)
+	if choice == ColdStart {
+		c, s = container.NewCold(p.nextID, inv, now)
+		p.nextID++
+		p.res.ContainersCreated++
+		lvl = core.NoMatch
+		p.applyCache(c, &s, lvl, inv)
+	} else {
+		pooled := p.pool.Get(choice)
+		if pooled == nil {
+			panic(fmt.Sprintf("platform: scheduler %q chose container %d not in pool", p.sched.Name(), choice))
+		}
+		lvl = core.Match(inv.Fn.Image, pooled.Image)
+		if lvl == core.NoMatch {
+			panic(fmt.Sprintf("platform: scheduler %q reused no-match container %d for fn %d",
+				p.sched.Name(), choice, inv.Fn.ID))
+		}
+		c = p.pool.Take(choice, now)
+		s = c.Reuse(inv, lvl, now, p.cleaner)
+		p.applyCache(c, &s, lvl, inv)
+		p.res.PoolSeries.Observe(now, p.pool.UsedMB())
+	}
+
+	p.runningMB += c.MemoryMB
+	if p.runningMB > p.res.PeakRunningMB {
+		p.res.PeakRunningMB = p.runningMB
+	}
+	if alive := p.runningMB + p.pool.UsedMB(); alive > p.res.PeakAliveMB {
+		p.res.PeakAliveMB = alive
+	}
+
+	res := Result{ContainerID: c.ID, Cold: s.Cold, Level: lvl, Startup: s}
+	p.res.Metrics.Record(metrics.Sample{
+		Seq:     inv.Seq,
+		FnID:    inv.Fn.ID,
+		Arrival: inv.Arrival,
+		Startup: s.Total(),
+		Cold:    s.Cold,
+		Level:   int(lvl),
+	})
+	p.seen++
+	p.prevArr = inv.Arrival
+	p.sched.OnResult(env, inv, res)
+
+	p.engine.Schedule(c.BusyUntil, "complete", func(*sim.Engine) {
+		p.complete(c, inv)
+	})
+	return res
+}
+
+// applyCache replaces the static registry pull time with the node-local
+// cache's realized time, adjusting the container's completion time to
+// match. It must run before the completion event is scheduled.
+func (p *Platform) applyCache(c *container.Container, s *container.Startup, lvl core.MatchLevel, inv *workload.Invocation) {
+	if p.cfg.PackageCache == nil {
+		return
+	}
+	var cached time.Duration
+	for _, l := range container.PulledLevels(lvl) {
+		cached += p.cfg.PackageCache.PullLevel(inv.Fn.Image, l)
+	}
+	c.BusyUntil += cached - s.Pull
+	s.Pull = cached
+}
+
+// complete returns a finished container to the pool.
+func (p *Platform) complete(c *container.Container, inv *workload.Invocation) {
+	now := p.engine.Now()
+	p.runningMB -= c.MemoryMB
+	c.Complete(now)
+	// The cost a warm copy of this container saves is its function's
+	// full cold-start latency; cost-aware evictors (FaasCache) use it.
+	p.pool.Add(c, inv.Fn.ColdStartTime(), now)
+	p.res.PoolSeries.Observe(now, p.pool.UsedMB())
+	if alive := p.runningMB + p.pool.UsedMB(); alive > p.res.PeakAliveMB {
+		p.res.PeakAliveMB = alive
+	}
+}
+
+// CalibrateLoose runs the workload once with an unlimited pool and the
+// given scheduler factory, returning the paper's Loose pool size: the
+// peak memory of all alive containers in the cluster (busy plus
+// kept-warm — with keep-alive, finished containers remain running).
+func CalibrateLoose(w workload.Workload, mk func() Scheduler) float64 {
+	p := New(Config{PoolCapacityMB: 0}, mk())
+	res := p.Run(w)
+	return res.PeakAliveMB
+}

@@ -1,0 +1,76 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"mlcr/internal/platform"
+	"mlcr/internal/workload"
+)
+
+func TestTabularQLegalDecisions(t *testing.T) {
+	// Random-ish exploration must never produce an illegal reuse (the
+	// platform panics on those).
+	q := NewTabularQ(1)
+	q.Epsilon = 1 // explore constantly
+	f1 := fn(1, "debian", "python", []string{"flask"}, 200*time.Millisecond, 100)
+	f2 := fn(2, "alpine", "node", []string{"express"}, 200*time.Millisecond, 100)
+	var pattern []*workload.Function
+	for i := 0; i < 30; i++ {
+		pattern = append(pattern, f1, f2)
+	}
+	w := seq(pattern, 3*time.Second)
+	res := platform.New(platform.Config{PoolCapacityMB: 500, Evictor: q.Evictor()}, q).Run(w)
+	if res.Metrics.Count() != 60 {
+		t.Fatalf("served %d invocations", res.Metrics.Count())
+	}
+}
+
+func TestTabularQLearnsToReuse(t *testing.T) {
+	// A single function repeating with comfortable gaps: reusing the
+	// warm container is always right; the table must converge to it.
+	q := NewTabularQ(2)
+	f := fn(1, "debian", "python", []string{"flask"}, 400*time.Millisecond, 100)
+	var pattern []*workload.Function
+	for i := 0; i < 150; i++ {
+		pattern = append(pattern, f)
+	}
+	w := seq(pattern, 5*time.Second)
+	res := platform.New(platform.Config{PoolCapacityMB: 500, Evictor: q.Evictor()}, q).Run(w)
+
+	// Early exploration causes some cold starts; converged behaviour
+	// must make warm starts the overwhelming majority.
+	if warm := res.Metrics.WarmStarts(); warm < 120 {
+		t.Fatalf("only %d/150 warm starts after learning", warm)
+	}
+	if q.States() == 0 {
+		t.Fatal("no states learned")
+	}
+}
+
+func TestTabularQBeatsAlwaysColdOnBench(t *testing.T) {
+	q := NewTabularQ(3)
+	f1 := fn(1, "debian", "python", []string{"flask"}, 300*time.Millisecond, 100)
+	f2 := fn(2, "debian", "python", []string{"numpy"}, 500*time.Millisecond, 100)
+	var pattern []*workload.Function
+	for i := 0; i < 40; i++ {
+		pattern = append(pattern, f1, f2)
+	}
+	w := seq(pattern, 4*time.Second)
+	qRes := platform.New(platform.Config{PoolCapacityMB: 500, Evictor: q.Evictor()}, q).Run(w)
+
+	var coldTotal time.Duration
+	for _, inv := range w.Invocations {
+		coldTotal += inv.Fn.ColdStartTime()
+	}
+	if qRes.Metrics.TotalStartup() >= coldTotal {
+		t.Fatalf("Tabular-Q (%v) no better than all-cold (%v)", qRes.Metrics.TotalStartup(), coldTotal)
+	}
+}
+
+func TestTabularQString(t *testing.T) {
+	q := NewTabularQ(4)
+	if s := q.String(); s == "" {
+		t.Fatal("empty description")
+	}
+}

@@ -1,0 +1,105 @@
+package pool
+
+import (
+	"time"
+
+	"mlcr/internal/container"
+)
+
+// PerContainerTTL is an optional Evictor refinement: policies that
+// implement it expire each container on its own schedule instead of the
+// single global TTL.
+type PerContainerTTL interface {
+	// TTLFor returns the idle lifetime for one container; zero means
+	// unlimited.
+	TTLFor(c *container.Container) time.Duration
+}
+
+// AdaptiveKeepAlive keeps each function's containers warm for a multiple
+// of that function's observed inter-arrival gap — the adaptive keep-alive
+// family the paper cites (Vahidinia et al.; FaasCache's windows): a
+// function invoked every second needs only seconds of keep-alive, one
+// invoked hourly would waste an hour of pool memory, so its containers
+// are released early.
+type AdaptiveKeepAlive struct {
+	// Multiplier scales the smoothed inter-arrival gap into a TTL
+	// (default 3: survive three average gaps).
+	Multiplier float64
+	// MinTTL and MaxTTL clamp the adaptive TTL (defaults 30s, 20m).
+	MinTTL, MaxTTL time.Duration
+	// Alpha is the gap-EMA smoothing factor (default 0.3).
+	Alpha float64
+
+	lastUse map[int]time.Duration // function ID -> last invocation time
+	gapEMA  map[int]time.Duration // function ID -> smoothed gap
+}
+
+// NewAdaptiveKeepAlive returns an initialized adaptive evictor.
+func NewAdaptiveKeepAlive() *AdaptiveKeepAlive {
+	return &AdaptiveKeepAlive{
+		Multiplier: 3,
+		MinTTL:     30 * time.Second,
+		MaxTTL:     20 * time.Minute,
+		Alpha:      0.3,
+		lastUse:    make(map[int]time.Duration),
+		gapEMA:     make(map[int]time.Duration),
+	}
+}
+
+// Name implements Evictor.
+func (a *AdaptiveKeepAlive) Name() string { return "adaptive-keepalive" }
+
+// Admit implements Evictor: like KeepAlive, a full pool rejects new
+// containers rather than displacing warm ones.
+func (a *AdaptiveKeepAlive) Admit() bool { return false }
+
+// TTL implements Evictor; the global fallback is MaxTTL (per-container
+// values from TTLFor take precedence in the pool).
+func (a *AdaptiveKeepAlive) TTL() time.Duration { return a.MaxTTL }
+
+// TTLFor implements PerContainerTTL.
+func (a *AdaptiveKeepAlive) TTLFor(c *container.Container) time.Duration {
+	gap, ok := a.gapEMA[c.FnID]
+	if !ok {
+		return a.MaxTTL // no history yet: be generous
+	}
+	ttl := time.Duration(float64(gap) * a.Multiplier)
+	if ttl < a.MinTTL {
+		ttl = a.MinTTL
+	}
+	if ttl > a.MaxTTL {
+		ttl = a.MaxTTL
+	}
+	return ttl
+}
+
+// Victim implements Evictor; unreachable because Admit is false.
+func (a *AdaptiveKeepAlive) Victim([]*container.Container, time.Duration) *container.Container {
+	return nil
+}
+
+// observe updates the function's inter-arrival statistics.
+func (a *AdaptiveKeepAlive) observe(fnID int, now time.Duration) {
+	if last, ok := a.lastUse[fnID]; ok && now > last {
+		gap := now - last
+		if prev, ok := a.gapEMA[fnID]; ok {
+			a.gapEMA[fnID] = time.Duration(a.Alpha*float64(gap) + (1-a.Alpha)*float64(prev))
+		} else {
+			a.gapEMA[fnID] = gap
+		}
+	}
+	a.lastUse[fnID] = now
+}
+
+// OnAdd implements Evictor.
+func (a *AdaptiveKeepAlive) OnAdd(c *container.Container, _ time.Duration, now time.Duration) {
+	a.observe(c.FnID, now)
+}
+
+// OnUse implements Evictor.
+func (a *AdaptiveKeepAlive) OnUse(c *container.Container, now time.Duration) {
+	a.observe(c.FnID, now)
+}
+
+// OnEvict implements Evictor (stateless on eviction).
+func (a *AdaptiveKeepAlive) OnEvict(*container.Container) {}

@@ -1,0 +1,80 @@
+package pool
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdaptiveTTLTracksInterArrival(t *testing.T) {
+	a := NewAdaptiveKeepAlive()
+	f := fn(1, 128)
+	// Observe regular 10s gaps for function 1.
+	for i := 0; i < 6; i++ {
+		c := idleContainer(100+i, f, time.Duration(i)*10*time.Second)
+		a.OnUse(c, time.Duration(i)*10*time.Second)
+	}
+	c := idleContainer(1, f, time.Minute)
+	ttl := a.TTLFor(c)
+	// 3 × 10s = 30s (also the MinTTL floor).
+	if ttl < 29*time.Second || ttl > 31*time.Second {
+		t.Fatalf("TTL = %v, want ≈ 30s", ttl)
+	}
+}
+
+func TestAdaptiveTTLClamped(t *testing.T) {
+	a := NewAdaptiveKeepAlive()
+	fast := fn(1, 128)
+	slow := fn(2, 128)
+	for i := 0; i < 5; i++ {
+		a.OnUse(idleContainer(10+i, fast, 0), time.Duration(i)*time.Second)    // 1s gaps
+		a.OnUse(idleContainer(20+i, slow, 0), time.Duration(i)*30*time.Minute) // 30m gaps
+	}
+	if got := a.TTLFor(idleContainer(1, fast, 0)); got != a.MinTTL {
+		t.Fatalf("fast function TTL = %v, want MinTTL %v", got, a.MinTTL)
+	}
+	if got := a.TTLFor(idleContainer(2, slow, 0)); got != a.MaxTTL {
+		t.Fatalf("slow function TTL = %v, want MaxTTL %v", got, a.MaxTTL)
+	}
+}
+
+func TestAdaptiveUnknownFunctionGenerous(t *testing.T) {
+	a := NewAdaptiveKeepAlive()
+	if got := a.TTLFor(idleContainer(1, fn(9, 128), 0)); got != a.MaxTTL {
+		t.Fatalf("unknown function TTL = %v, want MaxTTL", got)
+	}
+}
+
+func TestPoolUsesPerContainerTTL(t *testing.T) {
+	a := NewAdaptiveKeepAlive()
+	a.MinTTL = 5 * time.Second
+	p := New(10000, a)
+	fast := fn(1, 128)
+	// Teach the evictor a 2s inter-arrival gap.
+	for i := 0; i < 5; i++ {
+		a.observe(fast.ID, time.Duration(i)*2*time.Second)
+	}
+	c := idleContainer(1, fast, 10*time.Second)
+	p.Add(c, time.Second, c.IdleSince)
+	// The adaptive TTL is ≈ 3× the smoothed ~2s gap (Add's own
+	// observation nudges the EMA slightly): alive at +5s, gone by +10s.
+	if got := p.Expire(c.IdleSince + 5*time.Second); len(got) != 0 {
+		t.Fatal("expired before adaptive TTL")
+	}
+	if got := p.Expire(c.IdleSince + 10*time.Second); len(got) != 1 {
+		t.Fatal("not expired after adaptive TTL")
+	}
+	if p.Stats().Expirations != 1 {
+		t.Fatalf("expirations = %d", p.Stats().Expirations)
+	}
+}
+
+func TestAdaptiveRejectsWhenFull(t *testing.T) {
+	a := NewAdaptiveKeepAlive()
+	p := New(128, a)
+	f := fn(1, 128)
+	p.Add(idleContainer(1, f, 0), 0, time.Second)
+	c := idleContainer(2, f, time.Second)
+	if p.Add(c, 0, c.IdleSince) {
+		t.Fatal("full adaptive pool displaced a container")
+	}
+}

@@ -1,0 +1,351 @@
+// Package pool implements the fix-sized warm-container resource pool and
+// its eviction policies: LRU (the paper's default for MLCR and
+// Greedy-Match), FaasCache's greedy-dual priority eviction, and the
+// 10-minute KeepAlive policy of public clouds (Section VI-A).
+//
+// The pool holds idle containers only; a container leaves the pool for the
+// duration of every invocation it serves and is offered back on
+// completion. Capacity is accounted in megabytes of container memory.
+package pool
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mlcr/internal/container"
+)
+
+// Evictor decides which idle container to sacrifice when the pool is full,
+// and whether new containers may displace old ones at all.
+type Evictor interface {
+	// Name identifies the policy for reports.
+	Name() string
+	// Admit reports whether a new container may enter a full pool by
+	// evicting others. KeepAlive returns false: it rejects keep-warm
+	// requests when the pool is full.
+	Admit() bool
+	// Victim selects the container to evict among the given idle
+	// containers (never empty). now is the current virtual time.
+	Victim(idle []*container.Container, now time.Duration) *container.Container
+	// TTL is the maximum idle lifetime; zero means unlimited.
+	TTL() time.Duration
+	// OnAdd and OnUse let stateful policies (FaasCache) maintain
+	// frequency and priority bookkeeping.
+	OnAdd(c *container.Container, startupCost time.Duration, now time.Duration)
+	OnUse(c *container.Container, now time.Duration)
+	// OnEvict is called for every eviction or expiry.
+	OnEvict(c *container.Container)
+}
+
+// Stats counts pool-level events for the experiment reports (Fig 10).
+type Stats struct {
+	// Adds counts containers accepted into the pool.
+	Adds int
+	// Evictions counts containers displaced to make room.
+	Evictions int
+	// Rejections counts keep-warm requests refused (KeepAlive full).
+	Rejections int
+	// Expirations counts TTL expiries.
+	Expirations int
+	// PeakUsedMB is the highest memory the pool ever held.
+	PeakUsedMB float64
+}
+
+// Pool is a fix-sized set of idle warm containers.
+type Pool struct {
+	capacityMB float64 // <= 0 means unlimited
+	evictor    Evictor
+	byID       map[int]*container.Container
+	order      []*container.Container // insertion-ordered view for determinism
+	usedMB     float64
+	stats      Stats
+}
+
+// New creates a pool with the given capacity in MB (<= 0 for unlimited)
+// and eviction policy.
+func New(capacityMB float64, ev Evictor) *Pool {
+	if ev == nil {
+		panic("pool: nil evictor")
+	}
+	return &Pool{capacityMB: capacityMB, evictor: ev, byID: make(map[int]*container.Container)}
+}
+
+// CapacityMB returns the configured capacity (<= 0 means unlimited).
+func (p *Pool) CapacityMB() float64 { return p.capacityMB }
+
+// UsedMB returns the memory currently held by idle containers.
+func (p *Pool) UsedMB() float64 { return p.usedMB }
+
+// FreeMB returns remaining capacity, or +Inf-like large value when
+// unlimited (callers treat capacity <= 0 as unlimited via CapacityMB).
+func (p *Pool) FreeMB() float64 {
+	if p.capacityMB <= 0 {
+		return 0
+	}
+	return p.capacityMB - p.usedMB
+}
+
+// Len returns the number of idle containers in the pool.
+func (p *Pool) Len() int { return len(p.order) }
+
+// Stats returns accumulated pool statistics.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Evictor exposes the configured policy.
+func (p *Pool) Evictor() Evictor { return p.evictor }
+
+// Idle returns the idle containers in deterministic (insertion) order.
+// The returned slice is shared; callers must not mutate it.
+func (p *Pool) Idle() []*container.Container { return p.order }
+
+// Get returns the pooled container with the given ID, or nil.
+func (p *Pool) Get(id int) *container.Container { return p.byID[id] }
+
+// Expire removes idle containers whose idle time exceeds the evictor's
+// TTL — the per-container TTL when the evictor implements
+// PerContainerTTL, the global one otherwise. It returns the expired
+// containers. Call with the current virtual time before making
+// scheduling decisions.
+func (p *Pool) Expire(now time.Duration) []*container.Container {
+	perC, adaptive := p.evictor.(PerContainerTTL)
+	globalTTL := p.evictor.TTL()
+	if globalTTL <= 0 && !adaptive {
+		return nil
+	}
+	var out []*container.Container
+	for _, c := range append([]*container.Container(nil), p.order...) {
+		ttl := globalTTL
+		if adaptive {
+			ttl = perC.TTLFor(c)
+		}
+		if ttl > 0 && c.IdleFor(now) > ttl {
+			p.remove(c)
+			c.Kill()
+			p.evictor.OnEvict(c)
+			p.stats.Expirations++
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Add offers a finished (idle) container to the pool, evicting idle
+// containers per the policy if needed. It returns false when the container
+// was rejected or could not fit even after evictions (the container is
+// killed in that case). startupCost is the cost the container saved its
+// last invocation, used by cost-aware evictors.
+func (p *Pool) Add(c *container.Container, startupCost time.Duration, now time.Duration) bool {
+	if c.State != container.Idle {
+		panic(fmt.Sprintf("pool: Add container %d in state %v", c.ID, c.State))
+	}
+	if _, dup := p.byID[c.ID]; dup {
+		panic(fmt.Sprintf("pool: container %d already pooled", c.ID))
+	}
+	if p.capacityMB > 0 && c.MemoryMB > p.capacityMB {
+		c.Kill()
+		p.stats.Rejections++
+		return false
+	}
+	for p.capacityMB > 0 && p.usedMB+c.MemoryMB > p.capacityMB {
+		if !p.evictor.Admit() {
+			c.Kill()
+			p.stats.Rejections++
+			return false
+		}
+		victim := p.evictor.Victim(p.order, now)
+		if victim == nil {
+			c.Kill()
+			p.stats.Rejections++
+			return false
+		}
+		p.remove(victim)
+		victim.Kill()
+		p.evictor.OnEvict(victim)
+		p.stats.Evictions++
+	}
+	p.byID[c.ID] = c
+	p.order = append(p.order, c)
+	p.usedMB += c.MemoryMB
+	p.stats.Adds++
+	if p.usedMB > p.stats.PeakUsedMB {
+		p.stats.PeakUsedMB = p.usedMB
+	}
+	p.evictor.OnAdd(c, startupCost, now)
+	return true
+}
+
+// Take claims an idle container for reuse, removing it from the pool.
+// It panics if the container is not pooled (a scheduler bug).
+func (p *Pool) Take(id int, now time.Duration) *container.Container {
+	c, ok := p.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("pool: Take of unpooled container %d", id))
+	}
+	p.remove(c)
+	p.evictor.OnUse(c, now)
+	return c
+}
+
+func (p *Pool) remove(c *container.Container) {
+	delete(p.byID, c.ID)
+	for i, o := range p.order {
+		if o == c {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	p.usedMB -= c.MemoryMB
+	if p.usedMB < 1e-9 {
+		p.usedMB = 0
+	}
+}
+
+// --- LRU ---
+
+// LRU evicts the least-recently-used idle container. It is the eviction
+// policy used by MLCR and Greedy-Match in the paper.
+type LRU struct{}
+
+// Name implements Evictor.
+func (LRU) Name() string { return "lru" }
+
+// Admit implements Evictor: LRU always displaces old containers.
+func (LRU) Admit() bool { return true }
+
+// TTL implements Evictor: no idle-time limit.
+func (LRU) TTL() time.Duration { return 0 }
+
+// Victim returns the container with the oldest LastUsedAt.
+func (LRU) Victim(idle []*container.Container, _ time.Duration) *container.Container {
+	var victim *container.Container
+	for _, c := range idle {
+		if victim == nil || c.LastUsedAt < victim.LastUsedAt {
+			victim = c
+		}
+	}
+	return victim
+}
+
+// OnAdd implements Evictor (stateless).
+func (LRU) OnAdd(*container.Container, time.Duration, time.Duration) {}
+
+// OnUse implements Evictor (stateless).
+func (LRU) OnUse(*container.Container, time.Duration) {}
+
+// OnEvict implements Evictor (stateless).
+func (LRU) OnEvict(*container.Container) {}
+
+// --- KeepAlive ---
+
+// KeepAlive keeps containers warm for a fixed duration (public clouds use
+// 5–10 minutes) and rejects keep-warm requests when the pool is full.
+type KeepAlive struct {
+	// Alive is the keep-warm duration (the paper uses 10 minutes).
+	Alive time.Duration
+}
+
+// Name implements Evictor.
+func (k KeepAlive) Name() string { return "keepalive" }
+
+// Admit implements Evictor: a full pool rejects new containers.
+func (k KeepAlive) Admit() bool { return false }
+
+// TTL implements Evictor.
+func (k KeepAlive) TTL() time.Duration { return k.Alive }
+
+// Victim implements Evictor; unreachable because Admit is false.
+func (k KeepAlive) Victim([]*container.Container, time.Duration) *container.Container { return nil }
+
+// OnAdd implements Evictor (stateless).
+func (k KeepAlive) OnAdd(*container.Container, time.Duration, time.Duration) {}
+
+// OnUse implements Evictor (stateless).
+func (k KeepAlive) OnUse(*container.Container, time.Duration) {}
+
+// OnEvict implements Evictor (stateless).
+func (k KeepAlive) OnEvict(*container.Container) {}
+
+// --- FaasCache ---
+
+// FaasCache implements the greedy-dual keep-alive policy of Fuerst &
+// Sharma (ASPLOS'21): each warm container gets priority
+//
+//	priority = clock + frequency × cost / size
+//
+// where frequency counts invocations of the container's function, cost is
+// the startup latency the warm container saves, and size is its memory.
+// The pool evicts the minimum-priority container and raises the global
+// clock to that priority, aging the remaining entries.
+type FaasCache struct {
+	clock float64
+	freq  map[int]int     // function ID -> invocation count
+	prio  map[int]float64 // container ID -> priority
+	cost  map[int]float64 // container ID -> startup cost (seconds)
+}
+
+// NewFaasCache returns an initialized FaasCache evictor.
+func NewFaasCache() *FaasCache {
+	return &FaasCache{freq: make(map[int]int), prio: make(map[int]float64), cost: make(map[int]float64)}
+}
+
+// Name implements Evictor.
+func (f *FaasCache) Name() string { return "faascache" }
+
+// Admit implements Evictor.
+func (f *FaasCache) Admit() bool { return true }
+
+// TTL implements Evictor: greedy-dual has no fixed TTL.
+func (f *FaasCache) TTL() time.Duration { return 0 }
+
+func (f *FaasCache) priority(c *container.Container, cost float64) float64 {
+	size := c.MemoryMB
+	if size <= 0 {
+		size = 1
+	}
+	return f.clock + float64(f.freq[c.FnID])*cost/size
+}
+
+// OnAdd implements Evictor: computes the container's priority from the
+// current clock, its function's observed frequency, the startup cost it
+// saves and its size.
+func (f *FaasCache) OnAdd(c *container.Container, startupCost time.Duration, _ time.Duration) {
+	f.freq[c.FnID]++
+	f.cost[c.ID] = startupCost.Seconds()
+	f.prio[c.ID] = f.priority(c, f.cost[c.ID])
+}
+
+// OnUse implements Evictor: refreshes the priority on reuse.
+func (f *FaasCache) OnUse(c *container.Container, _ time.Duration) {
+	f.freq[c.FnID]++
+	f.prio[c.ID] = f.priority(c, f.cost[c.ID])
+}
+
+// OnEvict implements Evictor: drops bookkeeping for the container.
+func (f *FaasCache) OnEvict(c *container.Container) {
+	delete(f.prio, c.ID)
+	delete(f.cost, c.ID)
+}
+
+// Victim returns the minimum-priority container and advances the clock to
+// its priority (the greedy-dual aging step). Ties break on lower ID for
+// determinism.
+func (f *FaasCache) Victim(idle []*container.Container, _ time.Duration) *container.Container {
+	cands := append([]*container.Container(nil), idle...)
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+	var victim *container.Container
+	best := 0.0
+	for _, c := range cands {
+		p, ok := f.prio[c.ID]
+		if !ok {
+			p = f.clock
+		}
+		if victim == nil || p < best {
+			victim, best = c, p
+		}
+	}
+	if victim != nil {
+		f.clock = best
+	}
+	return victim
+}

@@ -1,0 +1,94 @@
+package pool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mlcr/internal/container"
+	"mlcr/internal/workload"
+)
+
+// TestPropertyPoolInvariants drives a pool with random add/take/expire
+// sequences and checks the core invariants after every operation:
+//
+//   - UsedMB equals the sum of member container sizes,
+//   - UsedMB never exceeds capacity,
+//   - Len equals the member count and Get finds exactly the members,
+//   - every removed container is Dead, every member Idle.
+func TestPropertyPoolInvariants(t *testing.T) {
+	run := func(seed int64, capMB uint16, ops []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := float64(capMB%2000) + 100
+		p := New(capacity, LRU{})
+		members := map[int]*container.Container{}
+		nextID := 1
+		now := time.Duration(0)
+
+		check := func() bool {
+			var sum float64
+			for _, c := range members {
+				sum += c.MemoryMB
+				if c.State != container.Idle {
+					return false
+				}
+				if p.Get(c.ID) != c {
+					return false
+				}
+			}
+			if p.Len() != len(members) {
+				return false
+			}
+			if diff := p.UsedMB() - sum; diff > 1e-6 || diff < -1e-6 {
+				return false
+			}
+			return p.UsedMB() <= capacity+1e-6
+		}
+
+		for _, op := range ops {
+			now += time.Duration(op) * time.Millisecond
+			switch op % 3 {
+			case 0: // add a fresh idle container
+				mem := float64(rng.Intn(400) + 50)
+				f := fn(nextID%7+1, mem)
+				inv := &workload.Invocation{Fn: f, Exec: f.Exec}
+				c, _ := container.NewCold(nextID, inv, now)
+				nextID++
+				c.Complete(c.BusyUntil)
+				if now < c.IdleSince {
+					now = c.IdleSince
+				}
+				if p.Add(c, time.Second, now) {
+					members[c.ID] = c
+				} else if c.State != container.Dead {
+					return false
+				}
+				// Some members may have been evicted: re-sync.
+				for id, m := range members {
+					if m.State == container.Dead {
+						delete(members, id)
+					}
+				}
+			case 1: // take a random member
+				for id := range members {
+					c := p.Take(id, now)
+					if c == nil {
+						return false
+					}
+					delete(members, id)
+					break
+				}
+			case 2: // expire (no-op for LRU, must not corrupt state)
+				p.Expire(now)
+			}
+			if !check() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package registry
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/image"
+)
+
+func pkg(name string, sizeMB float64) image.Package {
+	return image.Package{Name: name, Version: "1", Level: image.Runtime, SizeMB: sizeMB,
+		Pull: time.Duration(sizeMB * float64(40*time.Millisecond))}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := NewCache(100)
+	p := pkg("numpy", 28)
+	if got := c.Pull(p); got != p.Pull {
+		t.Fatalf("miss pull = %v, want %v", got, p.Pull)
+	}
+	if !c.Contains(p) {
+		t.Fatal("package not cached after miss")
+	}
+	if got := c.Pull(p); got != p.Pull/8 {
+		t.Fatalf("hit pull = %v, want %v", got, p.Pull/8)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.UsedMB != 28 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewCache(50)
+	a, b, d := pkg("a", 20), pkg("b", 20), pkg("d", 20)
+	c.Pull(a)
+	c.Pull(b)
+	c.Pull(a) // refresh a
+	c.Pull(d) // evicts b (LRU)
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatalf("cache contents wrong: a=%v b=%v d=%v", c.Contains(a), c.Contains(b), c.Contains(d))
+	}
+	if c.Stats().UsedMB != 40 {
+		t.Fatalf("used = %v", c.Stats().UsedMB)
+	}
+}
+
+func TestOversizedNeverCached(t *testing.T) {
+	c := NewCache(10)
+	big := pkg("tf", 500)
+	c.Pull(big)
+	if c.Contains(big) || c.Len() != 0 {
+		t.Fatal("oversized package cached")
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	c := NewCache(0)
+	p := pkg("x", 5)
+	c.Pull(p)
+	if got := c.Pull(p); got != p.Pull {
+		t.Fatalf("disabled cache served a hit: %v", got)
+	}
+	if c.Stats().Hits != 0 {
+		t.Fatal("disabled cache recorded hits")
+	}
+}
+
+func TestSetLocalRate(t *testing.T) {
+	c := NewCache(100)
+	c.SetLocalRate(4)
+	p := pkg("y", 10)
+	c.Pull(p)
+	if got := c.Pull(p); got != p.Pull/4 {
+		t.Fatalf("hit pull = %v, want quarter", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate < 1 accepted")
+		}
+	}()
+	c.SetLocalRate(0.5)
+}
+
+func TestPullLevel(t *testing.T) {
+	c := NewCache(10000)
+	im := fstartbench.ByID(fstartbench.Functions(), 6).Image
+	cold := c.PullLevel(im, image.Runtime)
+	if cold != im.PullTime(image.Runtime) {
+		t.Fatalf("first pull = %v, want %v", cold, im.PullTime(image.Runtime))
+	}
+	warm := c.PullLevel(im, image.Runtime)
+	if warm >= cold {
+		t.Fatalf("cached level pull %v not faster than %v", warm, cold)
+	}
+}
+
+// Property: used bytes never exceed capacity and always equal the sum of
+// cached entry sizes.
+func TestPropertyCapacityInvariant(t *testing.T) {
+	f := func(ops []uint8, capSeed uint8) bool {
+		capacity := float64(capSeed%100) + 10
+		c := NewCache(capacity)
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		for _, op := range ops {
+			p := pkg(names[int(op)%len(names)], float64(op%40)+1)
+			c.Pull(p)
+			if c.usedMB > capacity+1e-9 {
+				return false
+			}
+			var sum float64
+			for _, e := range c.entries {
+				sum += e.sizeMB
+			}
+			if diff := sum - c.usedMB; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the LRU list and the entries map stay consistent.
+func TestPropertyListMapConsistency(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := NewCache(60)
+		names := []string{"a", "b", "c", "d"}
+		for _, op := range ops {
+			c.Pull(pkg(names[int(op)%len(names)], float64(op%30)+1))
+			n := 0
+			for e := c.head; e != nil; e = e.next {
+				if c.entries[e.key] != e {
+					return false
+				}
+				n++
+			}
+			if n != len(c.entries) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mlcr/internal/metrics"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "Demo", Header: []string{"policy", "latency"}}
+	tb.AddRow("LRU", 1500*time.Millisecond)
+	tb.AddRow("MLCR", 800*time.Millisecond)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "policy") || !strings.Contains(out, "LRU") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50s") {
+		t.Fatalf("duration not formatted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("longvalue", "x")
+	tb.AddRow("s", "y")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// Column b must start at the same offset in both data rows.
+	if strings.Index(lines[2], "x") != strings.Index(lines[3], "y") {
+		t.Fatalf("columns misaligned:\n%s", tb.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow(1, 2.5)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2.50\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Millisecond:  "500ms",
+		1500 * time.Millisecond: "1.50s",
+		90 * time.Second:        "1.5m",
+	}
+	for d, want := range cases {
+		if got := FmtDur(d); got != want {
+			t.Errorf("FmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestFmtBox(t *testing.T) {
+	b := metrics.BoxOf([]float64{1, 2, 3, 4, 5})
+	got := FmtBox(b)
+	if !strings.Contains(got, "3.00s") {
+		t.Fatalf("FmtBox = %q", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Fatalf("Bar overflow = %q", got)
+	}
+	if got := Bar(1, 0, 10); got != "" {
+		t.Fatalf("Bar with zero max = %q", got)
+	}
+}
+
+func TestRowsWiderThanHeader(t *testing.T) {
+	tb := &Table{Header: []string{"a"}}
+	tb.AddRow("x", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}

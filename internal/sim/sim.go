@@ -1,0 +1,163 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine: a virtual clock and a priority queue of timestamped events.
+//
+// The engine is intentionally minimal. Events are opaque callbacks ordered
+// by (time, sequence). The sequence number makes ordering of simultaneous
+// events deterministic (FIFO among equal timestamps), which keeps every
+// experiment in this repository reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the start
+// of the simulation. Using time.Duration keeps arithmetic readable
+// (ms, seconds) without tying the simulator to the wall clock.
+type Time = time.Duration
+
+// Event is a scheduled callback. The callback receives the engine so it
+// can schedule follow-up events.
+type Event struct {
+	At   Time
+	Name string // for tracing and tests
+	Fn   func(*Engine)
+
+	seq int64 // tie-break for deterministic ordering
+	idx int   // heap index; -1 once popped or removed
+}
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine runs events in virtual-time order.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq int64
+	steps   int64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute virtual time at. Scheduling in
+// the past (before Now) panics: it is always a logic error in a DES and
+// silently reordering the past would corrupt results.
+func (e *Engine) Schedule(at Time, name string, fn func(*Engine)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, e.now))
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run d after the current time.
+func (e *Engine) After(d Time, name string, fn func(*Engine)) *Event {
+	return e.Schedule(e.now+d, name, fn)
+}
+
+// Cancel removes a previously scheduled event. It returns false if the
+// event already ran or was cancelled.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+	return true
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue drains or Stop is called.
+// It returns the number of events executed by this call. The clock is left
+// at the time of the last executed event.
+func (e *Engine) Run() int64 {
+	return e.run(1<<62-1, false)
+}
+
+// RunUntil executes events with At <= deadline, advancing the clock. The
+// clock is left at the time of the last executed event (or deadline if no
+// event at deadline remains, so repeated calls make progress).
+func (e *Engine) RunUntil(deadline Time) int64 {
+	return e.run(deadline, true)
+}
+
+func (e *Engine) run(deadline Time, advance bool) int64 {
+	e.stopped = false
+	var n int64
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.At > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.At
+		e.steps++
+		n++
+		next.Fn(e)
+	}
+	if advance && e.now < deadline && len(e.queue) == 0 {
+		e.now = deadline
+	}
+	return n
+}
+
+// Step executes exactly one event if available and reports whether it did.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*Event)
+	e.now = next.At
+	e.steps++
+	next.Fn(e)
+	return true
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(30*time.Millisecond, "c", func(*Engine) { order = append(order, "c") })
+	e.Schedule(10*time.Millisecond, "a", func(*Engine) { order = append(order, "a") })
+	e.Schedule(20*time.Millisecond, "b", func(*Engine) { order = append(order, "b") })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, "e", func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events ran out of submission order: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(time.Second, "outer", func(en *Engine) {
+		fired = append(fired, en.Now())
+		en.After(500*time.Millisecond, "inner", func(en *Engine) {
+			fired = append(fired, en.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 1500*time.Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, "a", func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(500*time.Millisecond, "past", func(*Engine) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(time.Second, "x", func(*Engine) { ran = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("Cancel returned true twice for the same event")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+}
+
+func TestCancelNilIsFalse(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []string
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d
+		e.Schedule(d*time.Second, "e", func(*Engine) { ran = append(ran, d.String()) })
+	}
+	if n := e.RunUntil(2 * time.Second); n != 2 {
+		t.Fatalf("RunUntil executed %d, want 2", n)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	if n := e.Run(); n != 2 {
+		t.Fatalf("second Run executed %d, want 2", n)
+	}
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(5 * time.Second)
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, "e", func(en *Engine) {
+			count++
+			if count == 2 {
+				en.Stop()
+			}
+		})
+	}
+	if n := e.Run(); n != 2 {
+		t.Fatalf("Run executed %d events after Stop, want 2", n)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	e.Schedule(time.Second, "a", func(*Engine) {})
+	if !e.Step() {
+		t.Fatal("Step returned false with pending event")
+	}
+	if e.Steps() != 1 {
+		t.Fatalf("Steps = %d, want 1", e.Steps())
+	}
+}
+
+// Property: for any set of (time, id) pairs, Run visits them sorted by
+// time with ties broken by insertion order.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) > 200 {
+			delays = delays[:200]
+		}
+		e := NewEngine()
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var got []rec
+		for i, d := range delays {
+			at := time.Duration(d) * time.Millisecond
+			i := i
+			e.Schedule(at, "p", func(en *Engine) { got = append(got, rec{en.Now(), i}) })
+		}
+		e.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestAzureMixQuantiles(t *testing.T) {
+	a := AzureMix{Rng: rand.New(rand.NewSource(1))}
+	counts := a.Counts(20000)
+	s := StatsOf(counts)
+	// The paper cites ~19% invoked once and >40% invoked ≤ 2 times.
+	if s.OnceFrac < 0.12 || s.OnceFrac > 0.30 {
+		t.Errorf("once fraction = %.3f, want ≈ 0.19", s.OnceFrac)
+	}
+	if s.AtMostTwiceFrac < 0.40 || s.AtMostTwiceFrac > 0.75 {
+		t.Errorf("≤2 fraction = %.3f, want > 0.40", s.AtMostTwiceFrac)
+	}
+	// Heavy tail: some functions invoked far more often than the median.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50 {
+		t.Errorf("max count = %d, expected a heavy tail", max)
+	}
+}
+
+func TestAzureMixCapsCounts(t *testing.T) {
+	a := AzureMix{MaxPerFunction: 7, Rng: rand.New(rand.NewSource(2))}
+	for _, c := range a.Counts(5000) {
+		if c < 1 || c > 7 {
+			t.Fatalf("count %d outside [1, 7]", c)
+		}
+	}
+}
+
+func TestAzureMixBuild(t *testing.T) {
+	fns := []*Function{testFn(1, "a", "alpine"), testFn(2, "b", "debian"), testFn(3, "c", "centos")}
+	a := AzureMix{Window: time.Hour, Rng: rand.New(rand.NewSource(3))}
+	w := a.Build("azure", fns, 0.1)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Invocations) < 3 {
+		t.Fatalf("only %d invocations", len(w.Invocations))
+	}
+	for _, inv := range w.Invocations {
+		if inv.Arrival > time.Hour {
+			t.Fatalf("arrival %v outside window", inv.Arrival)
+		}
+	}
+}
+
+func TestStatsOfEmpty(t *testing.T) {
+	if s := StatsOf(nil); s.Total != 0 || s.OnceFrac != 0 {
+		t.Fatalf("StatsOf(nil) = %+v", s)
+	}
+}
+
+func TestStatsOfKnown(t *testing.T) {
+	s := StatsOf([]int{1, 1, 2, 5, 10})
+	if s.OnceFrac != 0.4 || s.AtMostTwiceFrac != 0.6 || s.Total != 19 {
+		t.Fatalf("StatsOf = %+v", s)
+	}
+}
