@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast pre-merge gate: gofmt, vet, and race-enabled tests of the
+# concurrency-sensitive packages (HTTP API + observability).
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

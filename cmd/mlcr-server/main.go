@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"mlcr/internal/api"
@@ -32,6 +33,7 @@ func main() {
 	policyName := flag.String("policy", "Greedy-Match",
 		"policy: LRU, FaasCache, KeepAlive, Greedy-Match, Cost-Greedy")
 	poolMB := flag.Float64("pool", 4096, "warm pool capacity in MB (0 = unlimited)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	flag.Parse()
 
 	mkSched, mkEvict, ok := factories(*policyName)
@@ -49,8 +51,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mlcr-server: %v\n", err)
 		os.Exit(1)
 	}
+	var handler http.Handler = srv
+	if *pprofOn {
+		// Profiling shares the listener: /debug/pprof/* goes to pprof,
+		// everything else to the API server.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
 	fmt.Printf("mlcr-server: %s policy, %.0f MB pool, listening on %s\n", *policyName, *poolMB, *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintf(os.Stderr, "mlcr-server: %v\n", err)
 		os.Exit(1)
 	}

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mlcr/internal/experiments"
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/metrics"
+	"mlcr/internal/obs"
 	"mlcr/internal/platform"
 	"mlcr/internal/report"
 	"mlcr/internal/trace"
@@ -34,6 +36,9 @@ func main() {
 	episodes := flag.Int("episodes", 0, "MLCR training episodes (MLCR policy only; 0 = default)")
 	modelPath := flag.String("model", "", "load a pre-trained MLCR model instead of training")
 	tracePath := flag.String("trace", "", "replay a CSV trace (seq,arrival_ms,fn_id,exec_ms) instead of a generated workload")
+	traceOut := flag.String("trace-out", "", "write a structured event trace of the run (.json → Chrome trace_event for chrome://tracing, otherwise JSONL)")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus exposition-format metrics snapshot of the run")
+	auditOut := flag.String("audit-out", "", "write the scheduler decision audit log (JSONL)")
 	flag.Parse()
 
 	var w workload.Workload
@@ -56,6 +61,22 @@ func main() {
 	loose := experiments.CalibrateLoose(w)
 	poolMB := loose * *poolFrac
 
+	// Observability: build the bundle only when an output was requested,
+	// so plain runs stay on the zero-cost disabled path.
+	var o *obs.Observer
+	if *traceOut != "" || *metricsOut != "" || *auditOut != "" {
+		o = &obs.Observer{}
+		if *traceOut != "" {
+			o.Tracer = obs.NewRecorder()
+		}
+		if *metricsOut != "" {
+			o.Metrics = obs.NewRegistry()
+		}
+		if *auditOut != "" {
+			o.Audit = &obs.Audit{}
+		}
+	}
+
 	var res *platform.RunResult
 	switch *policyName {
 	case "MLCR":
@@ -71,7 +92,7 @@ func main() {
 			}
 			f.Close()
 		}
-		res = experiments.RunOnce(experiments.MLCRSetup(sched), w, poolMB)
+		res = experiments.RunObserved(experiments.MLCRSetup(sched), w, poolMB, o)
 	default:
 		var setup *experiments.Setup
 		for _, s := range append(experiments.Baselines(), experiments.CostGreedySetup()) {
@@ -85,7 +106,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mlcr-sim: unknown policy %q\n", *policyName)
 			os.Exit(2)
 		}
-		res = experiments.RunOnce(*setup, w, poolMB)
+		res = experiments.RunObserved(*setup, w, poolMB, o)
+	}
+
+	if *traceOut != "" {
+		writeOut(*traceOut, func(f *os.File) error {
+			rec := o.Recording()
+			if strings.HasSuffix(*traceOut, ".json") {
+				return rec.WriteChromeTrace(f)
+			}
+			return rec.WriteJSONL(f)
+		})
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *traceOut, o.Recording().Len())
+	}
+	if *metricsOut != "" {
+		writeOut(*metricsOut, func(f *os.File) error { return o.Metrics.WritePrometheus(f) })
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+	}
+	if *auditOut != "" {
+		writeOut(*auditOut, func(f *os.File) error { return o.Audit.WriteJSONL(f) })
+		fmt.Fprintf(os.Stderr, "audit log written to %s (%d decisions)\n", *auditOut, o.Audit.Len())
 	}
 
 	t := &report.Table{
@@ -116,6 +156,20 @@ func main() {
 	}
 	fmt.Printf("\nstartup latency distribution (P50 ≤ %v, P99 ≤ %v):\n%s",
 		h.Quantile(0.5), h.Quantile(0.99), h)
+}
+
+// writeOut creates path and runs the writer against it.
+func writeOut(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 //
 //	mlcr-train -workload Overall -episodes 48 -out mlcr.gob
 //	mlcr-train -workload Peak -episodes 36 -out peak.gob -v
+//	mlcr-train -episodes 24 -trace-out train.jsonl -metrics-out train.prom
 package main
 
 import (
@@ -14,9 +15,11 @@ import (
 	"os"
 	"time"
 
+	"mlcr/internal/drl"
 	"mlcr/internal/experiments"
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/mlcr"
+	"mlcr/internal/obs"
 	"mlcr/internal/workload"
 )
 
@@ -28,6 +31,8 @@ func main() {
 	out := flag.String("out", "mlcr.gob", "output model path")
 	slots := flag.Int("slots", 4, "candidate container slots (action space = slots+1)")
 	verbose := flag.Bool("v", false, "print per-episode training stats")
+	traceOut := flag.String("trace-out", "", "write per-update training telemetry as a JSONL event trace")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus exposition-format snapshot of training metrics")
 	flag.Parse()
 
 	var w workload.Workload
@@ -50,6 +55,39 @@ func main() {
 	cfg.EpsilonDecayEpisodes = *episodes * 2 / 3
 	s := mlcr.New(cfg)
 
+	// Training telemetry: every DQN gradient update becomes a TrainStep
+	// trace event plus registry metrics, exported after training.
+	var (
+		o        *obs.Observer
+		steps    *obs.Counter
+		epCount  *obs.Counter
+		tdGauge  *obs.Gauge
+		epsGauge *obs.Gauge
+	)
+	if *traceOut != "" || *metricsOut != "" {
+		o = &obs.Observer{}
+		if *traceOut != "" {
+			o.Tracer = obs.NewRecorder()
+		}
+		if *metricsOut != "" {
+			o.Metrics = obs.NewRegistry()
+			steps = o.Metrics.Counter("mlcr_train_steps_total", "DQN gradient updates applied.")
+			epCount = o.Metrics.Counter("mlcr_train_episodes_total", "Training episodes completed.")
+			tdGauge = o.Metrics.Gauge("mlcr_train_td_error", "Mean absolute TD error of the latest update.")
+			epsGauge = o.Metrics.Gauge("mlcr_train_epsilon", "Current exploration rate.")
+		}
+		s.Agent().OnTrainStep = func(st drl.TrainStepStats) {
+			o.Emit(obs.Event{
+				Kind: obs.KindTrainStep, Seq: -1, Fn: -1,
+				Step: st.Update, Value: st.TDError,
+			})
+			if steps != nil {
+				steps.Inc()
+				tdGauge.Set(st.TDError)
+			}
+		}
+	}
+
 	start := time.Now()
 	fracs := []float64{0.2, 0.5, 1.0}
 	s.Train(mlcr.TrainOptions{
@@ -57,6 +95,10 @@ func main() {
 		PoolForEpisode: func(ep int) float64 { return loose * fracs[ep%len(fracs)] },
 		Workload:       func(int) workload.Workload { return w },
 		OnEpisode: func(e mlcr.EpisodeStats) {
+			if epCount != nil {
+				epCount.Inc()
+				epsGauge.Set(e.Epsilon)
+			}
 			if *verbose {
 				fmt.Printf("  episode %3d: total startup %v, cold starts %d, ε=%.2f, TD=%.4f\n",
 					e.Episode, e.TotalStartup.Round(time.Second), e.ColdStarts, e.Epsilon, e.TDError)
@@ -77,6 +119,29 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("model saved to %s\n", *out)
+
+	if *traceOut != "" {
+		writeOut(*traceOut, func(f *os.File) error { return o.Recording().WriteJSONL(f) })
+		fmt.Printf("training trace written to %s (%d events)\n", *traceOut, o.Recording().Len())
+	}
+	if *metricsOut != "" {
+		writeOut(*metricsOut, func(f *os.File) error { return o.Metrics.WritePrometheus(f) })
+		fmt.Printf("training metrics written to %s\n", *metricsOut)
+	}
+}
+
+// writeOut creates path and runs the writer against it.
+func writeOut(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -8,7 +8,10 @@
 // Endpoints:
 //
 //	POST /invoke            {"fn_id": 5, "at_ms": 1200}  → startup breakdown
-//	GET  /stats             aggregate run metrics
+//	GET  /stats             aggregate run metrics (incl. startup quantiles)
+//	GET  /metrics           Prometheus exposition-format metrics
+//	GET  /trace             Chrome trace_event JSON of the run so far
+//	GET  /audit             scheduler decision audit log (JSONL)
 //	GET  /functions         the function catalog
 //	GET  /pool              current warm-pool contents
 //	POST /reset             fresh platform, same configuration
@@ -22,6 +25,8 @@ import (
 	"time"
 
 	"mlcr/internal/image"
+	"mlcr/internal/metrics"
+	"mlcr/internal/obs"
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
 	"mlcr/internal/workload"
@@ -46,6 +51,7 @@ type Server struct {
 	byID  map[int]*workload.Function
 	mu    sync.Mutex
 	plat  *platform.Platform
+	obs   *obs.Observer
 	start time.Time
 	seq   int
 	mux   *http.ServeMux
@@ -74,6 +80,9 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /invoke", s.handleInvoke)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("GET /audit", s.handleAudit)
 	mux.HandleFunc("GET /functions", s.handleFunctions)
 	mux.HandleFunc("GET /pool", s.handlePool)
 	mux.HandleFunc("POST /reset", s.handleReset)
@@ -89,7 +98,12 @@ func (s *Server) resetLocked() {
 	if s.cfg.NewEvictor != nil {
 		ev = s.cfg.NewEvictor()
 	}
-	s.plat = platform.New(platform.Config{PoolCapacityMB: s.cfg.PoolCapacityMB, Evictor: ev}, s.cfg.NewScheduler())
+	s.obs = obs.NewObserver()
+	s.plat = platform.New(platform.Config{
+		PoolCapacityMB: s.cfg.PoolCapacityMB,
+		Evictor:        ev,
+		Obs:            s.obs,
+	}, s.cfg.NewScheduler())
 	s.start = time.Now()
 	s.seq = 0
 }
@@ -171,19 +185,36 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// ReuseCounts breaks warm starts down by match level.
+type ReuseCounts struct {
+	L1 int `json:"l1"`
+	L2 int `json:"l2"`
+	L3 int `json:"l3"`
+}
+
+// StartupQuantiles are startup-latency percentiles in milliseconds.
+type StartupQuantiles struct {
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+}
+
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
-	Policy         string  `json:"policy"`
-	Invocations    int     `json:"invocations"`
-	TotalStartupMS int64   `json:"total_startup_ms"`
-	AvgStartupMS   int64   `json:"avg_startup_ms"`
-	ColdStarts     int     `json:"cold_starts"`
-	WarmByLevel    [4]int  `json:"warm_by_level"`
-	PoolUsedMB     float64 `json:"pool_used_mb"`
-	PoolPeakMB     float64 `json:"pool_peak_mb"`
-	Evictions      int     `json:"evictions"`
-	Rejections     int     `json:"rejections"`
-	Expirations    int     `json:"expirations"`
+	Policy           string           `json:"policy"`
+	Invocations      int              `json:"invocations"`
+	TotalStartupMS   int64            `json:"total_startup_ms"`
+	AvgStartupMS     int64            `json:"avg_startup_ms"`
+	StartupQuantiles StartupQuantiles `json:"startup_quantiles_ms"`
+	ColdStarts       int              `json:"cold_starts"`
+	WarmStarts       int              `json:"warm_starts"`
+	ReuseByLevel     ReuseCounts      `json:"reuse_by_level"`
+	WarmByLevel      [4]int           `json:"warm_by_level"`
+	PoolUsedMB       float64          `json:"pool_used_mb"`
+	PoolPeakMB       float64          `json:"pool_peak_mb"`
+	Evictions        int              `json:"evictions"`
+	Rejections       int              `json:"rejections"`
+	Expirations      int              `json:"expirations"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -191,19 +222,58 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	defer s.mu.Unlock()
 	res := s.plat.Results()
 	stats := s.plat.Pool().Stats()
+	lat := res.Metrics.Latencies()
+	quantMS := func(p float64) int64 {
+		return time.Duration(metrics.Percentile(lat, p) * float64(time.Second)).Milliseconds()
+	}
+	lv := res.Metrics.ByLevel()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Policy:         res.Policy,
 		Invocations:    res.Metrics.Count(),
 		TotalStartupMS: res.Metrics.TotalStartup().Milliseconds(),
 		AvgStartupMS:   res.Metrics.AvgStartup().Milliseconds(),
-		ColdStarts:     res.Metrics.ColdStarts(),
-		WarmByLevel:    res.Metrics.ByLevel(),
-		PoolUsedMB:     s.plat.Pool().UsedMB(),
-		PoolPeakMB:     stats.PeakUsedMB,
-		Evictions:      stats.Evictions,
-		Rejections:     stats.Rejections,
-		Expirations:    stats.Expirations,
+		StartupQuantiles: StartupQuantiles{
+			P50: quantMS(50), P95: quantMS(95), P99: quantMS(99),
+		},
+		ColdStarts:   res.Metrics.ColdStarts(),
+		WarmStarts:   res.Metrics.WarmStarts(),
+		ReuseByLevel: ReuseCounts{L1: lv[1], L2: lv[2], L3: lv[3]},
+		WarmByLevel:  lv,
+		PoolUsedMB:   s.plat.Pool().UsedMB(),
+		PoolPeakMB:   stats.PeakUsedMB,
+		Evictions:    stats.Evictions,
+		Rejections:   stats.Rejections,
+		Expirations:  stats.Expirations,
 	})
+}
+
+// handleMetrics serves the metrics registry in Prometheus text
+// exposition format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	o := s.obs
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = o.Metrics.WritePrometheus(w)
+}
+
+// handleTrace serves the run's trace in Chrome trace_event JSON,
+// openable in chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	rec := s.obs.Recording()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = rec.WriteChromeTrace(w)
+}
+
+// handleAudit serves the scheduler decision audit log as JSONL.
+func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	a := s.obs.Audit
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = a.WriteJSONL(w)
 }
 
 // FunctionInfo is one catalog entry of GET /functions.

@@ -23,6 +23,23 @@ type Cleaner struct {
 	unmounts  int
 	mounts    int
 	userWipes int
+
+	// OnSwap, when non-nil, observes every repack with its per-operation
+	// breakdown — the cleaner-level observability hook.
+	OnSwap func(op SwapOp)
+}
+
+// SwapOp describes one volume-swap (repack) performed by the Cleaner.
+type SwapOp struct {
+	// ContainerID is the repacked container.
+	ContainerID int
+	// FromFn and ToFn are the outgoing and incoming function IDs.
+	FromFn, ToFn int
+	// Level is the match level the reuse was scheduled at.
+	Level core.MatchLevel
+	// Unmounts and Mounts count the package volumes swapped (the
+	// user-data volume wipe is implicit: one per repack).
+	Unmounts, Mounts int
 }
 
 // VolumeOps summarizes the work a Cleaner has performed.
@@ -50,12 +67,15 @@ func (cl *Cleaner) Repack(c *Container, f *workload.Function, level core.MatchLe
 	// Levels above the match point need their volumes swapped. The OS
 	// level is on the writable layer, not a volume, so only language and
 	// runtime volumes are managed.
+	op := SwapOp{ContainerID: c.ID, FromFn: c.FnID, ToFn: f.ID, Level: level}
 	swap := func(l image.Level) {
 		if len(c.Image.AtLevel(l)) > 0 {
 			cl.unmounts++
+			op.Unmounts++
 		}
 		if len(f.Image.AtLevel(l)) > 0 {
 			cl.mounts++
+			op.Mounts++
 		}
 	}
 	switch level {
@@ -66,5 +86,8 @@ func (cl *Cleaner) Repack(c *Container, f *workload.Function, level core.MatchLe
 		swap(image.Runtime)
 	case core.MatchL3:
 		// Identical package stack: only the user-data volume changes.
+	}
+	if cl.OnSwap != nil {
+		cl.OnSwap(op)
 	}
 }

@@ -47,6 +47,19 @@ func (c AgentConfig) withDefaults() AgentConfig {
 	return c
 }
 
+// TrainStepStats is the telemetry of one gradient update, delivered to
+// an Agent's OnTrainStep hook.
+type TrainStepStats struct {
+	// Update is the 1-based update counter after this step.
+	Update int
+	// TDError is the mean absolute TD error of the minibatch.
+	TDError float64
+	// ReplayLen is the experience-pool size at sampling time.
+	ReplayLen int
+	// Synced reports whether this step synchronized the target network.
+	Synced bool
+}
+
 // Agent is a DQN learner: an online Q-network, a periodically synced
 // target network, an experience-replay pool and the TD(0) update of
 // Algorithm 1.
@@ -60,6 +73,11 @@ type Agent struct {
 
 	updates int
 	lastTD  float64
+
+	// OnTrainStep, when non-nil, observes every gradient update — the
+	// training-loop telemetry hook (loss/ε/reward reporting is wired by
+	// callers, e.g. cmd/mlcr-train). A nil hook costs one branch.
+	OnTrainStep func(TrainStepStats)
 }
 
 // NewAgent creates an agent with deterministic initialization from seed.
@@ -157,10 +175,20 @@ func (a *Agent) TrainStep() float64 {
 	}
 	a.opt.Step()
 	a.updates++
+	synced := false
 	if a.cfg.TargetSync > 0 && a.updates%a.cfg.TargetSync == 0 {
 		a.SyncTarget()
+		synced = true
 	}
 	a.lastTD = tdSum / float64(len(batch))
+	if a.OnTrainStep != nil {
+		a.OnTrainStep(TrainStepStats{
+			Update:    a.updates,
+			TDError:   a.lastTD,
+			ReplayLen: a.replay.Len(),
+			Synced:    synced,
+		})
+	}
 	return a.lastTD
 }
 

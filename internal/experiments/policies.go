@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mlcr/internal/mlcr"
+	"mlcr/internal/obs"
 	"mlcr/internal/platform"
 	"mlcr/internal/policy"
 	"mlcr/internal/pool"
@@ -99,8 +100,14 @@ func (o Options) WithDefaults() Options {
 // RunOnce replays a workload through a fresh platform with the given
 // setup and pool capacity.
 func RunOnce(s Setup, w workload.Workload, poolMB float64) *platform.RunResult {
+	return RunObserved(s, w, poolMB, nil)
+}
+
+// RunObserved is RunOnce with an observability bundle attached to the
+// platform (nil disables instrumentation; see internal/obs).
+func RunObserved(s Setup, w workload.Workload, poolMB float64, o *obs.Observer) *platform.RunResult {
 	sched, ev := s.Make()
-	return platform.New(platform.Config{PoolCapacityMB: poolMB, Evictor: ev}, sched).Run(w)
+	return platform.New(platform.Config{PoolCapacityMB: poolMB, Evictor: ev, Obs: o}, sched).Run(w)
 }
 
 // TrainMLCR trains one MLCR scheduler on the given workload with a

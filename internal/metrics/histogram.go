@@ -63,6 +63,19 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of samples.
 func (h *Histogram) Count() int { return h.total }
 
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Boundaries returns a copy of the bucket upper edges (the last bucket,
+// above the final edge, is unbounded).
+func (h *Histogram) Boundaries() []time.Duration {
+	return append([]time.Duration(nil), h.boundaries...)
+}
+
+// Counts returns a copy of the per-bucket sample counts; its length is
+// len(Boundaries())+1, the final entry being the unbounded bucket.
+func (h *Histogram) Counts() []int { return append([]int(nil), h.counts...) }
+
 // Mean returns the arithmetic mean sample.
 func (h *Histogram) Mean() time.Duration {
 	if h.total == 0 {

@@ -1,0 +1,185 @@
+// Package obs is the repository's observability layer, three pillars
+// shared by the simulator, the HTTP gateway and the training loop:
+//
+//   - a structured trace: typed events (Event) with virtual timestamps,
+//     collected by a pluggable Tracer and exportable as JSONL or as the
+//     Chrome trace_event format (viewable in chrome://tracing/Perfetto);
+//   - a metrics registry (Registry): named counters, gauges and
+//     histograms with allocation-free hot-path updates, a deterministic
+//     text snapshot and Prometheus exposition-format export;
+//   - a scheduler decision audit log (Audit): for every invocation, the
+//     candidate set the policy saw, per-candidate match levels and prune
+//     reasons, the chosen action and the realized reward.
+//
+// All three are optional and nil-safe: a disabled Observer costs a nil
+// check per instrumentation point, so determinism and performance of
+// unobserved runs are unchanged (see BenchmarkDisabledTracer).
+package obs
+
+import (
+	"time"
+)
+
+// Kind identifies the type of a trace event.
+type Kind uint8
+
+const (
+	// KindEventFired is emitted by the simulation engine for every event
+	// it executes; Detail holds the event name (e.g. "arrival/12").
+	KindEventFired Kind = iota + 1
+	// KindInvocationArrived marks an invocation reaching the platform.
+	KindInvocationArrived
+	// KindMatchAttempted records multi-level matching of one idle
+	// container against the arriving invocation; Detail holds the prune
+	// reason (PruneNoMatch, PruneWorseThanCold) or "" for a viable
+	// candidate, Dur the estimated startup of reusing it.
+	KindMatchAttempted
+	// KindScheduleDecided records the scheduler's decision; Action is
+	// the chosen container ID or -1 for a cold start, Dur the realized
+	// startup latency.
+	KindScheduleDecided
+	// KindContainerCreated marks a cold-started sandbox; Dur is the
+	// cold-start latency.
+	KindContainerCreated
+	// KindContainerReused marks a warm start; Level is the match level,
+	// Dur the warm-start latency.
+	KindContainerReused
+	// KindContainerEvicted marks a container leaving the pool
+	// involuntarily; Detail holds the reason (capacity, expired,
+	// rejected, oversize).
+	KindContainerEvicted
+	// KindVolumeSwapped records a container-cleaner repack on a
+	// cross-function reuse.
+	KindVolumeSwapped
+	// KindTrainStep reports one DQN gradient update; Step is the update
+	// counter, Value the mean absolute TD error.
+	KindTrainStep
+)
+
+// String returns the snake_case kind name used in JSONL exports.
+func (k Kind) String() string {
+	switch k {
+	case KindEventFired:
+		return "event_fired"
+	case KindInvocationArrived:
+		return "invocation_arrived"
+	case KindMatchAttempted:
+		return "match_attempted"
+	case KindScheduleDecided:
+		return "schedule_decided"
+	case KindContainerCreated:
+		return "container_created"
+	case KindContainerReused:
+		return "container_reused"
+	case KindContainerEvicted:
+		return "container_evicted"
+	case KindVolumeSwapped:
+		return "volume_swapped"
+	case KindTrainStep:
+		return "train_step"
+	default:
+		return "unknown"
+	}
+}
+
+// Prune reasons attached to KindMatchAttempted events and audit
+// candidates.
+const (
+	// PruneNoMatch means the OS level differs: reuse is impossible.
+	PruneNoMatch = "no-match"
+	// PruneWorseThanCold means the estimated warm start costs at least
+	// as much as a cold start (the mask's "manifestly erroneous" rule).
+	PruneWorseThanCold = "worse-than-cold"
+)
+
+// Eviction reasons attached to KindContainerEvicted events.
+const (
+	// EvictCapacity means the container was displaced to make room.
+	EvictCapacity = "capacity"
+	// EvictExpired means the container exceeded its idle TTL.
+	EvictExpired = "expired"
+	// EvictRejected means a keep-warm request was refused by a full pool.
+	EvictRejected = "rejected"
+	// EvictOversize means the container exceeds the whole pool capacity.
+	EvictOversize = "oversize"
+)
+
+// Event is one structured trace record. It is a flat struct — no
+// interfaces, no allocations — so constructing and discarding one when
+// tracing is disabled is nearly free. Fields not applicable to a Kind
+// are left zero; Seq and Fn use -1 for "not applicable" since 0 is a
+// valid sequence number and function ID.
+type Event struct {
+	Kind Kind
+	// At is the virtual timestamp of the event.
+	At time.Duration
+	// Seq is the invocation sequence number (-1 when not applicable).
+	Seq int
+	// Fn is the function ID (-1 when not applicable).
+	Fn int
+	// Container is the container ID (0 when not applicable).
+	Container int
+	// Level is the match level (0 = cold/no-match, 1..3 = L1..L3).
+	Level int
+	// Action is the scheduler's chosen action: container ID or -1 cold.
+	Action int
+	// Cold reports whether the decision cold-started a sandbox.
+	Cold bool
+	// Dur is a duration payload (estimated or realized startup).
+	Dur time.Duration
+	// Value is a scalar payload (reward, TD error).
+	Value float64
+	// Step is the training-step counter for KindTrainStep.
+	Step int
+	// Detail is a short string payload: engine event name, prune reason
+	// or eviction reason.
+	Detail string
+}
+
+// Tracer receives trace events. Implementations must tolerate events
+// arriving from a single goroutine at a time per emitting component; the
+// Recorder is additionally safe for fully concurrent use.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Observer bundles the three pillars. Any field may be nil to disable
+// that pillar; a nil *Observer disables everything. All methods are
+// nil-receiver safe so instrumented code needs no nil checks beyond the
+// guards below.
+type Observer struct {
+	Tracer  Tracer
+	Metrics *Registry
+	Audit   *Audit
+}
+
+// NewObserver returns an Observer with all three pillars enabled: a
+// fresh Recorder, Registry and Audit.
+func NewObserver() *Observer {
+	return &Observer{Tracer: NewRecorder(), Metrics: NewRegistry(), Audit: &Audit{}}
+}
+
+// Emit forwards the event to the tracer; a no-op when disabled.
+func (o *Observer) Emit(ev Event) {
+	if o == nil || o.Tracer == nil {
+		return
+	}
+	o.Tracer.Emit(ev)
+}
+
+// Tracing reports whether trace events are being collected. Hot paths
+// use it to skip event construction entirely.
+func (o *Observer) Tracing() bool { return o != nil && o.Tracer != nil }
+
+// Auditing reports whether scheduler decisions are being audited.
+func (o *Observer) Auditing() bool { return o != nil && o.Audit != nil }
+
+// Recording returns the Tracer as a *Recorder when it is one, for
+// exporting collected events; nil otherwise.
+func (o *Observer) Recording() *Recorder {
+	if o == nil {
+		return nil
+	}
+	r, _ := o.Tracer.(*Recorder)
+	return r
+}

@@ -10,11 +10,13 @@ package platform
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"mlcr/internal/container"
 	"mlcr/internal/core"
 	"mlcr/internal/metrics"
+	"mlcr/internal/obs"
 	"mlcr/internal/pool"
 	"mlcr/internal/registry"
 	"mlcr/internal/sim"
@@ -88,6 +90,10 @@ type Config struct {
 	// Schedulers still decide on the static estimates, modelling that
 	// the platform cannot know cache contents ahead of admission.
 	PackageCache *registry.Cache
+	// Obs, when non-nil, observes the run: trace events, metrics and
+	// the scheduler decision audit (see internal/obs). Nil disables all
+	// instrumentation at near-zero cost.
+	Obs *obs.Observer
 }
 
 // RunResult aggregates everything a platform run produced.
@@ -122,6 +128,8 @@ type Platform struct {
 	engine  *sim.Engine
 	pool    *pool.Pool
 	cleaner *container.Cleaner
+	obs     *obs.Observer
+	pm      *platformMetrics
 
 	nextID    int
 	runningMB float64
@@ -151,10 +159,12 @@ func New(cfg Config, sched Scheduler) *Platform {
 		engine:  sim.NewEngine(),
 		pool:    pool.New(cfg.PoolCapacityMB, ev),
 		cleaner: &container.Cleaner{},
+		obs:     cfg.Obs,
 		nextID:  1,
 	}
 	p.rate.Alpha = alpha
 	p.res.Policy = sched.Name()
+	p.wireObservability()
 	return p
 }
 
@@ -169,7 +179,7 @@ func (p *Platform) Run(w workload.Workload) *RunResult {
 	}
 	for i := range w.Invocations {
 		inv := &w.Invocations[i]
-		p.engine.Schedule(inv.Arrival, "arrival", func(*sim.Engine) {
+		p.engine.Schedule(inv.Arrival, "arrival/"+strconv.Itoa(inv.Seq), func(*sim.Engine) {
 			p.arrive(inv)
 		})
 	}
@@ -231,6 +241,16 @@ func (p *Platform) arrive(inv *workload.Invocation) Result {
 	p.pool.Expire(now)
 	p.rate.Observe(now)
 
+	if p.obs.Tracing() {
+		p.obs.Emit(obs.Event{Kind: obs.KindInvocationArrived, At: now, Seq: inv.Seq, Fn: inv.Fn.ID})
+	}
+	// The audited candidate set must be captured before the scheduler
+	// runs: it is the pool state the policy saw.
+	var cands []obs.Candidate
+	if p.obs.Auditing() || p.obs.Tracing() {
+		cands = p.observeCandidates(inv, now)
+	}
+
 	env := p.env()
 	choice := p.sched.Schedule(env, inv)
 
@@ -278,11 +298,14 @@ func (p *Platform) arrive(inv *workload.Invocation) Result {
 		Cold:    s.Cold,
 		Level:   int(lvl),
 	})
+	if p.obs != nil {
+		p.observeDecision(inv, now, cands, choice, c, s, lvl)
+	}
 	p.seen++
 	p.prevArr = inv.Arrival
 	p.sched.OnResult(env, inv, res)
 
-	p.engine.Schedule(c.BusyUntil, "complete", func(*sim.Engine) {
+	p.engine.Schedule(c.BusyUntil, "finish/c"+strconv.Itoa(c.ID), func(*sim.Engine) {
 		p.complete(c, inv)
 	})
 	return res
@@ -314,6 +337,10 @@ func (p *Platform) complete(c *container.Container, inv *workload.Invocation) {
 	p.res.PoolSeries.Observe(now, p.pool.UsedMB())
 	if alive := p.runningMB + p.pool.UsedMB(); alive > p.res.PeakAliveMB {
 		p.res.PeakAliveMB = alive
+	}
+	if p.pm != nil {
+		p.pm.poolUsedMB.Set(p.pool.UsedMB())
+		p.pm.runningMB.Set(p.runningMB)
 	}
 }
 

@@ -52,6 +52,18 @@ type Stats struct {
 	PeakUsedMB float64
 }
 
+// Reasons passed to a Pool's OnEvict hook.
+const (
+	// ReasonCapacity: displaced by the evictor to make room.
+	ReasonCapacity = "capacity"
+	// ReasonExpired: exceeded the idle TTL.
+	ReasonExpired = "expired"
+	// ReasonRejected: a keep-warm request refused by a full pool.
+	ReasonRejected = "rejected"
+	// ReasonOversize: the container alone exceeds the pool capacity.
+	ReasonOversize = "oversize"
+)
+
 // Pool is a fix-sized set of idle warm containers.
 type Pool struct {
 	capacityMB float64 // <= 0 means unlimited
@@ -60,6 +72,12 @@ type Pool struct {
 	order      []*container.Container // insertion-ordered view for determinism
 	usedMB     float64
 	stats      Stats
+
+	// OnEvict, when non-nil, observes every container the pool kills —
+	// evictions, TTL expiries and rejected keep-warm offers — with one
+	// of the Reason* constants and the current virtual time. It is the
+	// pool-level observability hook; a nil hook costs one branch.
+	OnEvict func(c *container.Container, reason string, now time.Duration)
 }
 
 // New creates a pool with the given capacity in MB (<= 0 for unlimited)
@@ -124,6 +142,9 @@ func (p *Pool) Expire(now time.Duration) []*container.Container {
 			c.Kill()
 			p.evictor.OnEvict(c)
 			p.stats.Expirations++
+			if p.OnEvict != nil {
+				p.OnEvict(c, ReasonExpired, now)
+			}
 			out = append(out, c)
 		}
 	}
@@ -145,24 +166,36 @@ func (p *Pool) Add(c *container.Container, startupCost time.Duration, now time.D
 	if p.capacityMB > 0 && c.MemoryMB > p.capacityMB {
 		c.Kill()
 		p.stats.Rejections++
+		if p.OnEvict != nil {
+			p.OnEvict(c, ReasonOversize, now)
+		}
 		return false
 	}
 	for p.capacityMB > 0 && p.usedMB+c.MemoryMB > p.capacityMB {
 		if !p.evictor.Admit() {
 			c.Kill()
 			p.stats.Rejections++
+			if p.OnEvict != nil {
+				p.OnEvict(c, ReasonRejected, now)
+			}
 			return false
 		}
 		victim := p.evictor.Victim(p.order, now)
 		if victim == nil {
 			c.Kill()
 			p.stats.Rejections++
+			if p.OnEvict != nil {
+				p.OnEvict(c, ReasonRejected, now)
+			}
 			return false
 		}
 		p.remove(victim)
 		victim.Kill()
 		p.evictor.OnEvict(victim)
 		p.stats.Evictions++
+		if p.OnEvict != nil {
+			p.OnEvict(victim, ReasonCapacity, now)
+		}
 	}
 	p.byID[c.ID] = c
 	p.order = append(p.order, c)

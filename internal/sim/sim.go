@@ -70,6 +70,12 @@ type Engine struct {
 	nextSeq int64
 	steps   int64
 	stopped bool
+
+	// OnEvent, when non-nil, observes every executed event (its name and
+	// firing time) just before the callback runs. It is the engine-level
+	// tracing hook; the engine itself stays dependency-free. A nil hook
+	// costs one branch per event.
+	OnEvent func(at Time, name string)
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -142,6 +148,9 @@ func (e *Engine) run(deadline Time, advance bool) int64 {
 		e.now = next.At
 		e.steps++
 		n++
+		if e.OnEvent != nil {
+			e.OnEvent(next.At, next.Name)
+		}
 		next.Fn(e)
 	}
 	if advance && e.now < deadline && len(e.queue) == 0 {
@@ -158,6 +167,9 @@ func (e *Engine) Step() bool {
 	next := heap.Pop(&e.queue).(*Event)
 	e.now = next.At
 	e.steps++
+	if e.OnEvent != nil {
+		e.OnEvent(next.At, next.Name)
+	}
 	next.Fn(e)
 	return true
 }

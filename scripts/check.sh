@@ -1,0 +1,24 @@
+#!/bin/sh
+# check.sh — fast pre-merge gate: formatting, vet, and race-enabled
+# tests of the concurrency-sensitive packages (the HTTP API and the
+# observability layer, whose registries and recorders are hit from
+# handler goroutines). Run from the repository root, or via `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race (api, obs) =="
+go test -race ./internal/api/ ./internal/obs/
+
+echo "check: all green"
