@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check check-full bench
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# Fast pre-merge gate: gofmt, vet, and race-enabled tests of the
-# concurrency-sensitive packages (HTTP API + observability).
+# Pre-merge gate: gofmt, vet, and race-enabled tests of every package
+# (-short skips the long DQN training experiments; the parallel harness,
+# cluster and observability race tests all run).
 check:
 	sh scripts/check.sh
+
+# The same gate with the complete race suite, training runs included.
+check-full:
+	FULL=1 sh scripts/check.sh
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -19,6 +19,8 @@ import (
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/image"
 	"mlcr/internal/report"
+	"mlcr/internal/runner"
+	"mlcr/internal/workload"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 	emit := flag.String("emit", "", "emit one workload's invocations as CSV")
 	dfPath := flag.String("dockerfile", "", "classify a Dockerfile's packages into MLCR levels")
 	seed := flag.Int64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", 0, "concurrent workload builds for -workloads (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	if !*table && !*workloads && *emit == "" && *dfPath == "" {
@@ -41,7 +44,7 @@ func main() {
 		printTable()
 	}
 	if *workloads {
-		printWorkloads(*seed)
+		printWorkloads(*seed, *parallel)
 	}
 	if *emit != "" {
 		emitWorkload(*emit, *seed)
@@ -109,13 +112,18 @@ func mainPkg(im image.Image, l image.Level) string {
 	return best.Name
 }
 
-func printWorkloads(seed int64) {
+func printWorkloads(seed int64, parallel int) {
 	t := &report.Table{
 		Title:  "FStartBench workloads",
 		Header: []string{"workload", "function types", "invocations", "span", "avg Jaccard", "size variance"},
 	}
-	for _, name := range fstartbench.Names {
-		w := fstartbench.Build(name, seed, fstartbench.Options{})
+	// Building and analyzing the workloads (similarity is O(n²) Jaccard)
+	// dominates; build them concurrently, rows stay in catalog order.
+	builds := runner.Map(len(fstartbench.Names), runner.Options{Parallelism: parallel}, func(i int) workload.Workload {
+		return fstartbench.Build(fstartbench.Names[i], seed, fstartbench.Options{})
+	})
+	for i, name := range fstartbench.Names {
+		w := builds[i]
 		t.AddRow(name, fmt.Sprintf("%v", fstartbench.TypeSet(name)), len(w.Invocations),
 			w.Duration(), fmt.Sprintf("%.3f", w.AvgSimilarity()), fmt.Sprintf("%.0f", w.SizeVariance()))
 	}

@@ -26,10 +26,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	repeats := flag.Int("repeats", 0, "workload seeds per data point (0 = default 3)")
 	episodes := flag.Int("episodes", 0, "MLCR training episodes (0 = default 36)")
+	parallel := flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	csvPath := flag.String("csv", "", "also write the table(s) as CSV to this file")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Repeats: *repeats, Episodes: *episodes}
+	opts := experiments.Options{Seed: *seed, Repeats: *repeats, Episodes: *episodes, Parallelism: *parallel}
 
 	var tables []*report.Table
 	run := func(name string, f func() *report.Table) {

@@ -7,6 +7,7 @@
 //	mlcr-sim -workload Peak -policy Greedy-Match -pool 0.5
 //	mlcr-sim -workload Overall -policy MLCR -episodes 36
 //	mlcr-sim -workload LO-Sim -policy MLCR -model mlcr.gob
+//	mlcr-sim -workload Overall -policy all -parallel 8
 package main
 
 import (
@@ -30,7 +31,9 @@ func main() {
 	wname := flag.String("workload", "Overall",
 		"workload: Overall, LO-Sim, HI-Sim, LO-Var, HI-Var, Uniform, Peak, Random")
 	policyName := flag.String("policy", "Greedy-Match",
-		"policy: LRU, FaasCache, KeepAlive, Greedy-Match, Cost-Greedy, MLCR")
+		"policy: LRU, FaasCache, KeepAlive, Greedy-Match, Cost-Greedy, MLCR, or 'all' for a comparison table")
+	parallel := flag.Int("parallel", 0,
+		"concurrent simulation runs for -policy all (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	poolFrac := flag.Float64("pool", 0.5, "warm pool size as a fraction of the calibrated Loose size")
 	seed := flag.Int64("seed", 1, "workload seed")
 	episodes := flag.Int("episodes", 0, "MLCR training episodes (MLCR policy only; 0 = default)")
@@ -75,6 +78,15 @@ func main() {
 		if *auditOut != "" {
 			o.Audit = &obs.Audit{}
 		}
+	}
+
+	if *policyName == "all" {
+		if o != nil {
+			fmt.Fprintln(os.Stderr, "mlcr-sim: observability outputs need a single policy, not -policy all")
+			os.Exit(2)
+		}
+		compareAll(w, loose, poolMB, *poolFrac, *seed, *episodes, *parallel)
+		return
 	}
 
 	var res *platform.RunResult
@@ -156,6 +168,27 @@ func main() {
 	}
 	fmt.Printf("\nstartup latency distribution (P50 ≤ %v, P99 ≤ %v):\n%s",
 		h.Quantile(0.5), h.Quantile(0.99), h)
+}
+
+// compareAll evaluates every policy on the workload concurrently and
+// prints one comparison table (the -policy all mode).
+func compareAll(w workload.Workload, loose, poolMB, poolFrac float64, seed int64, episodes, parallel int) {
+	opts := experiments.Options{Seed: seed, Episodes: episodes, Parallelism: parallel}
+	trained := experiments.TrainMLCR(w, loose, []float64{poolFrac}, opts)
+	setups := append(experiments.Baselines(), experiments.CostGreedySetup(), experiments.MLCRSetup(trained))
+	results := experiments.RunAll(setups, w, poolMB, opts)
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("all policies on %s (pool %.0f MB = %.0f%% of Loose %.0f MB)", w.Name, poolMB, poolFrac*100, loose),
+		Header: []string{"policy", "total startup", "avg startup", "p99 startup", "cold starts", "evictions"},
+	}
+	for i, s := range setups {
+		m := &results[i].Metrics
+		t.AddRow(s.Name, m.TotalStartup(), m.AvgStartup(),
+			time.Duration(metrics.Percentile(m.Latencies(), 99)*float64(time.Second)),
+			m.ColdStarts(), results[i].PoolStats.Evictions)
+	}
+	t.Render(os.Stdout)
 }
 
 // writeOut creates path and runs the writer against it.

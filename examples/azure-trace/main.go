@@ -62,11 +62,12 @@ func main() {
 		Title:  fmt.Sprintf("one-shot-heavy workload, pool = 50%% of Loose (%.0f MB)", loose),
 		Header: []string{"policy", "total startup", "avg startup", "cold starts", "warm L1/L2/L3"},
 	}
-	for _, s := range append(experiments.Baselines(), experiments.CostGreedySetup()) {
-		res := experiments.RunOnce(s, w, loose*0.5)
-		lv := res.Metrics.ByLevel()
-		t.AddRow(s.Name, res.Metrics.TotalStartup(), res.Metrics.AvgStartup(),
-			res.Metrics.ColdStarts(), fmt.Sprintf("%d/%d/%d", lv[1], lv[2], lv[3]))
+	setups := append(experiments.Baselines(), experiments.CostGreedySetup())
+	results := experiments.RunAll(setups, w, loose*0.5, experiments.Options{})
+	for i, s := range setups {
+		lv := results[i].Metrics.ByLevel()
+		t.AddRow(s.Name, results[i].Metrics.TotalStartup(), results[i].Metrics.AvgStartup(),
+			results[i].Metrics.ColdStarts(), fmt.Sprintf("%d/%d/%d", lv[1], lv[2], lv[3]))
 	}
 	t.Render(os.Stdout)
 	fmt.Println("\nSame-function policies cold-start every one-shot function;")

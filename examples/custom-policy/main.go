@@ -63,13 +63,13 @@ func main() {
 	}
 	setups := append(experiments.Baselines(),
 		experiments.CostGreedySetup(),
-		experiments.Setup{Name: "Reserve-Deep", Make: func() (platform.Scheduler, pool.Evictor) {
+		experiments.Setup{Name: "Reserve-Deep", New: func() (platform.Scheduler, pool.Evictor) {
 			return reserveDeep{}, pool.LRU{}
 		}},
 	)
-	for _, s := range setups {
-		res := experiments.RunOnce(s, w, loose*0.5)
-		t.AddRow(s.Name, res.Metrics.TotalStartup(), res.Metrics.ColdStarts(), res.CleanerOps.Repacks)
+	results := experiments.RunAll(setups, w, loose*0.5, experiments.Options{})
+	for i, s := range setups {
+		t.AddRow(s.Name, results[i].Metrics.TotalStartup(), results[i].Metrics.ColdStarts(), results[i].CleanerOps.Repacks)
 	}
 	t.Render(os.Stdout)
 	fmt.Println("\nImplementing platform.Scheduler takes three methods; see reserveDeep above.")

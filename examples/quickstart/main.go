@@ -31,14 +31,15 @@ func main() {
 		Title:  "LRU vs multi-level reuse",
 		Header: []string{"policy", "total startup", "avg startup", "cold starts", "L1/L2/L3 warm"},
 	}
-	for _, s := range []experiments.Setup{
+	setups := []experiments.Setup{
 		experiments.Baselines()[0], // LRU
 		experiments.Baselines()[3], // Greedy-Match
-	} {
-		res := experiments.RunOnce(s, w, poolMB)
-		lv := res.Metrics.ByLevel()
-		t.AddRow(s.Name, res.Metrics.TotalStartup(), res.Metrics.AvgStartup(),
-			res.Metrics.ColdStarts(), fmt.Sprintf("%d/%d/%d", lv[1], lv[2], lv[3]))
+	}
+	results := experiments.RunAll(setups, w, poolMB, experiments.Options{})
+	for i, s := range setups {
+		lv := results[i].Metrics.ByLevel()
+		t.AddRow(s.Name, results[i].Metrics.TotalStartup(), results[i].Metrics.AvgStartup(),
+			results[i].Metrics.ColdStarts(), fmt.Sprintf("%d/%d/%d", lv[1], lv[2], lv[3]))
 	}
 	t.Render(os.Stdout)
 }

@@ -1,7 +1,8 @@
 // Trace-run: replay the HI-Sim workload under the trained MLCR scheduler
-// with the full observability bundle attached, then export the run as a
-// Chrome trace (load trace.json in chrome://tracing or ui.perfetto.dev)
-// and a Prometheus metrics snapshot, and summarize why the pool killed
+// and the Greedy-Match baseline concurrently, each run with its own
+// observability bundle attached, then export the MLCR run as a Chrome
+// trace (load trace.json in chrome://tracing or ui.perfetto.dev) and a
+// Prometheus metrics snapshot, and summarize why the pool killed
 // containers.
 package main
 
@@ -13,6 +14,7 @@ import (
 	"mlcr/internal/experiments"
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/obs"
+	"mlcr/internal/runner"
 )
 
 func main() {
@@ -30,12 +32,23 @@ func main() {
 	sched := experiments.TrainMLCR(w, loose, []float64{0.5},
 		experiments.Options{Seed: 42, Episodes: 8})
 
-	// 3. Replay with all three observability pillars attached.
-	o := obs.NewObserver()
-	res := experiments.RunObserved(experiments.MLCRSetup(sched), w, poolMB, o)
-	fmt.Printf("MLCR: total startup %v, cold starts %d, %d trace events, %d audited decisions\n",
-		res.Metrics.TotalStartup(), res.Metrics.ColdStarts(),
-		o.Recording().Len(), o.Audit.Len())
+	// 3. Replay MLCR and the Greedy-Match baseline concurrently through
+	//    the parallel harness, each run observing into its own bundle
+	//    (observers are stateful and must never be shared across runs).
+	setups := []experiments.Setup{experiments.MLCRSetup(sched), experiments.Baselines()[3]}
+	observers := make([]*obs.Observer, len(setups))
+	specs := make([]runner.Spec, len(setups))
+	for i, s := range setups {
+		observers[i] = obs.NewObserver()
+		specs[i] = s.Spec(w, poolMB, observers[i])
+	}
+	results := runner.Run(specs, runner.Options{})
+	for i, s := range setups {
+		fmt.Printf("%s: total startup %v, cold starts %d, %d trace events, %d audited decisions\n",
+			s.Name, results[i].Metrics.TotalStartup(), results[i].Metrics.ColdStarts(),
+			observers[i].Recording().Len(), observers[i].Audit.Len())
+	}
+	o := observers[0] // the MLCR run's bundle drives the exports below
 
 	// 4. Export: Chrome trace_event JSON plus a Prometheus snapshot.
 	write("trace.json", func(f *os.File) error { return o.Recording().WriteChromeTrace(f) })

@@ -61,9 +61,10 @@ func main() {
 		Title:  "online serving on unseen traffic (pool = 50% of Loose)",
 		Header: []string{"policy", "total startup", "avg startup", "cold starts"},
 	}
-	for _, s := range append(experiments.Baselines(), experiments.MLCRSetup(served)) {
-		res := experiments.RunOnce(s, serve, loose*0.5)
-		t.AddRow(s.Name, res.Metrics.TotalStartup(), res.Metrics.AvgStartup(), res.Metrics.ColdStarts())
+	setups := append(experiments.Baselines(), experiments.MLCRSetup(served))
+	results := experiments.RunAll(setups, serve, loose*0.5, experiments.Options{})
+	for i, s := range setups {
+		t.AddRow(s.Name, results[i].Metrics.TotalStartup(), results[i].Metrics.AvgStartup(), results[i].Metrics.ColdStarts())
 	}
 	t.Render(os.Stdout)
 }

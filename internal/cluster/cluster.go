@@ -13,6 +13,7 @@ import (
 
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
+	"mlcr/internal/runner"
 	"mlcr/internal/workload"
 )
 
@@ -51,10 +52,18 @@ type Config struct {
 	PoolCapacityMB float64
 	// Routing is the front-end policy (default RoundRobin).
 	Routing Routing
-	// NewScheduler builds one scheduler per worker.
+	// NewScheduler builds one scheduler per worker. With Parallelism != 1
+	// it is called from concurrent goroutines (one per worker) and must
+	// return an instance no other worker uses; a trained MLCR scheduler
+	// is distributed by cloning it per worker.
 	NewScheduler func(worker int) platform.Scheduler
-	// NewEvictor builds one pool evictor per worker; nil = LRU.
+	// NewEvictor builds one pool evictor per worker; nil = LRU. The same
+	// concurrency contract as NewScheduler applies.
 	NewEvictor func(worker int) pool.Evictor
+	// Parallelism bounds concurrently simulated workers: <=0 means
+	// GOMAXPROCS, 1 forces sequential. Workers share nothing, so the
+	// result is bit-identical at any setting.
+	Parallelism int
 }
 
 // Result aggregates a cluster run.
@@ -86,7 +95,11 @@ func (r Result) ColdStarts() int {
 // Run partitions the workload across workers per the routing policy and
 // replays each partition on its worker's platform. Workers are
 // independent simulations: the cluster-level metrics are exact because
-// workers share nothing but the arrival stream.
+// workers share nothing but the arrival stream. Routing happens first
+// and sequentially (the least-loaded estimator is order-dependent);
+// worker simulations then execute concurrently up to Config.Parallelism,
+// each building its scheduler, evictor and platform in its own
+// goroutine, with results collected in worker order.
 func Run(cfg Config, w workload.Workload) Result {
 	if cfg.Workers < 1 {
 		panic("cluster: Workers must be >= 1")
@@ -101,16 +114,18 @@ func Run(cfg Config, w workload.Workload) Result {
 
 	parts := route(cfg, w)
 	res := Result{Routed: make([]int, cfg.Workers)}
-	for i := 0; i < cfg.Workers; i++ {
+	for i := range parts {
+		res.Routed[i] = len(parts[i])
+	}
+	res.PerWorker = runner.Map(cfg.Workers, runner.Options{Parallelism: cfg.Parallelism}, func(i int) *platform.RunResult {
 		var ev pool.Evictor
 		if cfg.NewEvictor != nil {
 			ev = cfg.NewEvictor(i)
 		}
 		p := platform.New(platform.Config{PoolCapacityMB: perPool, Evictor: ev}, cfg.NewScheduler(i))
 		sub := workload.Workload{Name: fmt.Sprintf("%s/w%d", w.Name, i), Functions: w.Functions, Invocations: parts[i]}
-		res.Routed[i] = len(parts[i])
-		res.PerWorker = append(res.PerWorker, p.Run(sub))
-	}
+		return p.Run(sub)
+	})
 	return res
 }
 

@@ -8,6 +8,7 @@ import (
 	"mlcr/internal/platform"
 	"mlcr/internal/policy"
 	"mlcr/internal/pool"
+	"mlcr/internal/runner"
 	"mlcr/internal/workload"
 )
 
@@ -130,6 +131,83 @@ func TestConfigValidation(t *testing.T) {
 			}()
 			Run(cfg, bench(5))
 		}()
+	}
+}
+
+func TestLoadEstimator(t *testing.T) {
+	cases := []struct {
+		name           string
+		busyUntil, now time.Duration
+		want           time.Duration
+	}{
+		{"idle worker", 0, time.Second, 0},
+		{"just freed", time.Second, time.Second, 0},
+		{"freed in the past", time.Second, 2 * time.Second, 0},
+		{"busy", 3 * time.Second, time.Second, 2 * time.Second},
+		{"busy from now", 500 * time.Millisecond, 0, 500 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := load(c.busyUntil, c.now); got != c.want {
+			t.Errorf("%s: load(%v, %v) = %v, want %v", c.name, c.busyUntil, c.now, got, c.want)
+		}
+	}
+}
+
+func TestLeastLoadedBusyUntilAccumulates(t *testing.T) {
+	// Two simultaneous long jobs on a 2-worker cluster must go to
+	// different workers: after the first lands on worker 0, its busy-until
+	// estimate makes worker 1 strictly less loaded.
+	f := fstartbench.ByID(fstartbench.Functions(), 13)
+	w := workload.Workload{Name: "pair", Functions: []*workload.Function{f},
+		Invocations: []workload.Invocation{
+			{Seq: 0, Fn: f, Arrival: 0, Exec: f.Exec},
+			{Seq: 1, Fn: f, Arrival: 0, Exec: f.Exec},
+		}}
+	parts := route(mkCfg(2, LeastLoaded, 0), w)
+	if len(parts[0]) != 1 || len(parts[1]) != 1 {
+		t.Fatalf("simultaneous jobs not spread: %d/%d", len(parts[0]), len(parts[1]))
+	}
+}
+
+func TestPoolBudgetSplitUnlimited(t *testing.T) {
+	// An unlimited cluster budget must stay unlimited per worker, not
+	// become 0/NewWorkers = 0 (which platform would read as unlimited
+	// anyway) nor go negative.
+	w := bench(40)
+	res := Run(mkCfg(2, RoundRobin, 0), w)
+	for i, pr := range res.PerWorker {
+		if pr.PoolStats.Rejections != 0 {
+			t.Fatalf("worker %d rejected %d admissions under an unlimited pool", i, pr.PoolStats.Rejections)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// The acceptance check: an 8-worker cluster run must be byte-identical
+	// between sequential and full parallelism, for every routing policy.
+	w := bench(160)
+	for _, routing := range []Routing{RoundRobin, ByFunction, LeastLoaded} {
+		seqCfg := mkCfg(8, routing, 8000)
+		seqCfg.Parallelism = 1
+		seq := Run(seqCfg, w)
+		for _, par := range []int{4, 0} {
+			parCfg := mkCfg(8, routing, 8000)
+			parCfg.Parallelism = par
+			got := Run(parCfg, w)
+			if len(got.PerWorker) != len(seq.PerWorker) {
+				t.Fatalf("%v: worker count %d != %d", routing, len(got.PerWorker), len(seq.PerWorker))
+			}
+			for i := range seq.PerWorker {
+				if runner.Fingerprint(seq.PerWorker[i]) != runner.Fingerprint(got.PerWorker[i]) {
+					t.Fatalf("%v: worker %d diverged at parallelism %d", routing, i, par)
+				}
+			}
+			for i := range seq.Routed {
+				if seq.Routed[i] != got.Routed[i] {
+					t.Fatalf("%v: routing diverged at worker %d", routing, i)
+				}
+			}
+		}
 	}
 }
 

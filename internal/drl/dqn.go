@@ -192,6 +192,15 @@ func (a *Agent) TrainStep() float64 {
 	return a.lastTD
 }
 
+// CopyWeightsFrom copies the online and target network parameters from
+// src into this agent. Both agents must share an identical QConfig.
+// Optimizer and replay state are not copied — use this to distribute a
+// frozen trained network to fresh agents, one per concurrent run.
+func (a *Agent) CopyWeightsFrom(src *Agent) {
+	nn.CopyParams(a.online.Params(), src.online.Params())
+	nn.CopyParams(a.target.Params(), src.target.Params())
+}
+
 // SyncTarget copies online-network weights into the target network.
 func (a *Agent) SyncTarget() {
 	nn.CopyParams(a.target.Params(), a.online.Params())

@@ -8,6 +8,7 @@ import (
 	"mlcr/internal/policy"
 	"mlcr/internal/pool"
 	"mlcr/internal/report"
+	"mlcr/internal/runner"
 )
 
 // AblationRow is one MLCR variant's result.
@@ -51,35 +52,38 @@ func Ablation(opts Options) AblationResult {
 		{"no-margin", func(o *Options) { o.MLCR.DeviationMargin = -1 }},
 		{"shaped-reward", func(o *Options) { o.MLCR.ShapingWeight = 1 }},
 	}
-	for _, v := range variants {
+	// Each variant trains its own model, so variants run concurrently;
+	// results land in variant order regardless of completion order.
+	out.Rows = append(out.Rows, runner.Map(len(variants), opts.runnerOpts(), func(i int) AblationRow {
+		v := variants[i]
 		vo := opts
 		v.mutate(&vo)
 		trained := TrainMLCR(w, loose, overallFracs(), vo)
 		if v.name == "full" {
-			TuneMargin(trained, w, poolMB)
+			TuneMargin(trained, w, poolMB, opts.Parallelism)
 		}
 		res := RunOnce(MLCRSetup(trained), w, poolMB)
-		out.Rows = append(out.Rows, AblationRow{
+		return AblationRow{
 			Variant:      "MLCR/" + v.name,
 			TotalStartup: res.Metrics.TotalStartup(),
 			ColdStarts:   res.Metrics.ColdStarts(),
-		})
-	}
+		}
+	})...)
 	refs := []Setup{
 		CostGreedySetup(),
 		Baselines()[3], // Greedy-Match
 		Baselines()[0], // LRU
-		{Name: "Tabular-Q", Make: func() (platform.Scheduler, pool.Evictor) {
+		{Name: "Tabular-Q", New: func() (platform.Scheduler, pool.Evictor) {
 			s := policy.NewTabularQ(opts.Seed)
 			return s, s.Evictor()
 		}},
 	}
-	for _, s := range refs {
-		res := RunOnce(s, w, poolMB)
+	results := RunAll(refs, w, poolMB, opts)
+	for i, s := range refs {
 		out.Rows = append(out.Rows, AblationRow{
 			Variant:      s.Name,
-			TotalStartup: res.Metrics.TotalStartup(),
-			ColdStarts:   res.Metrics.ColdStarts(),
+			TotalStartup: results[i].Metrics.TotalStartup(),
+			ColdStarts:   results[i].Metrics.ColdStarts(),
 		})
 	}
 	return out

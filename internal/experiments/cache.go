@@ -5,9 +5,9 @@ import (
 	"time"
 
 	"mlcr/internal/fstartbench"
-	"mlcr/internal/platform"
 	"mlcr/internal/registry"
 	"mlcr/internal/report"
+	"mlcr/internal/runner"
 )
 
 // CacheRow is one (policy, cache size) cell of the registry-cache study.
@@ -37,25 +37,40 @@ func CacheStudy(opts Options) CacheResult {
 	poolMB := loose * 0.2
 
 	out := CacheResult{PoolMB: poolMB}
+	type cell struct {
+		setup   Setup
+		cacheMB float64
+	}
+	var cells []cell
 	for _, cacheMB := range []float64{0, 256, 1024, 4096} {
 		for _, s := range []Setup{Baselines()[0], Baselines()[3]} { // LRU, Greedy-Match
-			sched, ev := s.Make()
-			var cache *registry.Cache
-			if cacheMB > 0 {
-				cache = registry.NewCache(cacheMB)
-			}
-			res := platform.New(platform.Config{
-				PoolCapacityMB: poolMB, Evictor: ev, PackageCache: cache,
-			}, sched).Run(w)
-			row := CacheRow{Policy: s.Name, CacheMB: cacheMB, TotalStartup: res.Metrics.TotalStartup()}
-			if cache != nil {
-				st := cache.Stats()
-				if st.Hits+st.Misses > 0 {
-					row.HitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
-				}
-			}
-			out.Rows = append(out.Rows, row)
+			cells = append(cells, cell{setup: s, cacheMB: cacheMB})
 		}
+	}
+	// Each run builds its cache through the factory in its own goroutine;
+	// the slot write is safe because factory i runs exactly once.
+	caches := make([]*registry.Cache, len(cells))
+	specs := make([]runner.Spec, len(cells))
+	for i, c := range cells {
+		i, c := i, c
+		specs[i] = runner.Spec{Name: c.setup.Name, Workload: w, PoolCapacityMB: poolMB, New: c.setup.New}
+		if c.cacheMB > 0 {
+			specs[i].NewCache = func() *registry.Cache {
+				caches[i] = registry.NewCache(c.cacheMB)
+				return caches[i]
+			}
+		}
+	}
+	results := runner.Run(specs, opts.runnerOpts())
+	for i, c := range cells {
+		row := CacheRow{Policy: c.setup.Name, CacheMB: c.cacheMB, TotalStartup: results[i].Metrics.TotalStartup()}
+		if caches[i] != nil {
+			st := caches[i].Stats()
+			if st.Hits+st.Misses > 0 {
+				row.HitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+			}
+		}
+		out.Rows = append(out.Rows, row)
 	}
 	return out
 }

@@ -29,17 +29,18 @@ func Fig10(opts Options) Fig10Result {
 	w := fstartbench.BuildOverall(opts.Seed, fstartbench.OverallOptions{})
 	loose := CalibrateLoose(w)
 	trained := TrainMLCR(w, loose, overallFracs(), opts)
-	TuneMargin(trained, w, loose)
+	TuneMargin(trained, w, loose, opts.Parallelism)
 
 	out := Fig10Result{LooseMB: loose}
-	for _, s := range append(Baselines(), MLCRSetup(trained)) {
-		res := RunOnce(s, w, loose)
+	setups := append(Baselines(), MLCRSetup(trained))
+	results := RunAll(setups, w, loose, opts)
+	for i, s := range setups {
 		out.Rows = append(out.Rows, Fig10Row{
 			Policy:      s.Name,
-			PeakPoolMB:  res.PoolStats.PeakUsedMB,
-			Evictions:   res.PoolStats.Evictions,
-			Rejections:  res.PoolStats.Rejections,
-			Expirations: res.PoolStats.Expirations,
+			PeakPoolMB:  results[i].PoolStats.PeakUsedMB,
+			Evictions:   results[i].PoolStats.Evictions,
+			Rejections:  results[i].PoolStats.Rejections,
+			Expirations: results[i].PoolStats.Expirations,
 		})
 	}
 	return out

@@ -7,6 +7,7 @@ import (
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/metrics"
 	"mlcr/internal/report"
+	"mlcr/internal/runner"
 )
 
 // Fig11Groups maps each panel of Figure 11 to its workloads.
@@ -51,6 +52,9 @@ func (r Fig11Result) Cell(workload, policy string) *Fig11Cell {
 // replayed at pool sizes of 25–100% of Loose for Options.Repeats seeds;
 // each run contributes one total-startup-latency observation to the box.
 // MLCR is trained once per (workload, repeat) at the 50% pool size.
+// Repeats run concurrently (Options.Parallelism), each owning its
+// workload and trained model; observations are merged in repeat order
+// so the box statistics are bit-identical to a sequential run.
 func Fig11(group string, opts Options) Fig11Result {
 	names, ok := Fig11Groups[group]
 	if !ok {
@@ -60,8 +64,11 @@ func Fig11(group string, opts Options) Fig11Result {
 
 	out := Fig11Result{Group: group}
 	for _, wname := range names {
-		totals := map[string][]float64{} // policy -> total startup (s) observations
-		for rep := 0; rep < opts.Repeats; rep++ {
+		type obsRow struct {
+			policy string
+			total  float64
+		}
+		reps := runner.Map(opts.Repeats, opts.runnerOpts(), func(rep int) []obsRow {
 			w := fstartbench.Build(wname, opts.Seed+int64(rep)*211, fstartbench.Options{})
 			loose := CalibrateLoose(w)
 
@@ -69,14 +76,23 @@ func Fig11(group string, opts Options) Fig11Result {
 			repOpts.Seed = opts.Seed + int64(rep)*409
 			trained := TrainMLCR(w, loose, scaleFracs(), repOpts)
 
+			var rows []obsRow
 			for _, scale := range PoolScales {
 				poolMB := loose * scale.Frac
-				TuneMargin(trained, w, poolMB)
+				TuneMargin(trained, w, poolMB, opts.Parallelism)
 				setups := append(Baselines(), MLCRSetup(trained))
-				for _, s := range setups {
-					res := RunOnce(s, w, poolMB)
-					totals[s.Name] = append(totals[s.Name], res.Metrics.TotalStartup().Seconds())
+				results := RunAll(setups, w, poolMB, opts)
+				for i, s := range setups {
+					rows = append(rows, obsRow{policy: s.Name, total: results[i].Metrics.TotalStartup().Seconds()})
 				}
+			}
+			return rows
+		})
+
+		totals := map[string][]float64{} // policy -> total startup (s) observations
+		for _, rows := range reps {
+			for _, row := range rows {
+				totals[row.policy] = append(totals[row.policy], row.total)
 			}
 		}
 		for _, p := range PolicyNames {

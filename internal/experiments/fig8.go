@@ -7,6 +7,7 @@ import (
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/metrics"
 	"mlcr/internal/report"
+	"mlcr/internal/runner"
 )
 
 // Fig8Cell is one bar of Figure 8: a policy's average result at one pool
@@ -42,7 +43,10 @@ func (r Fig8Result) Cell(policy, pool string) *Fig8Cell {
 // over Options.Repeats seeds, for every policy × pool setting. MLCR is
 // trained offline per repeat with a Tight/Moderate/Loose pool-size
 // curriculum and evaluated on all three settings, matching the paper's
-// offline-training/online-use split.
+// offline-training/online-use split. Repeats execute concurrently
+// (Options.Parallelism); each repeat owns its workload and trained
+// model, and per-repeat observations are merged in repeat order so the
+// averages are bit-identical to a sequential run.
 func Fig8(opts Options) Fig8Result {
 	opts = opts.WithDefaults()
 
@@ -59,27 +63,50 @@ func Fig8(opts Options) Fig8Result {
 		}
 	}
 
-	var looseSum float64
-	for rep := 0; rep < opts.Repeats; rep++ {
+	type obsRow struct {
+		policy, pool string
+		total, avg   time.Duration
+		colds        int
+	}
+	type repOut struct {
+		loose float64
+		rows  []obsRow
+	}
+	reps := runner.Map(opts.Repeats, opts.runnerOpts(), func(rep int) repOut {
 		w := fstartbench.BuildOverall(opts.Seed+int64(rep)*101, fstartbench.OverallOptions{})
 		loose := CalibrateLoose(w)
-		looseSum += loose
 
 		repOpts := opts
 		repOpts.Seed = opts.Seed + int64(rep)*977
 		trained := TrainMLCR(w, loose, overallFracs(), repOpts)
 
+		out := repOut{loose: loose}
 		for _, ps := range OverallPools {
 			poolMB := loose * ps.Frac
-			TuneMargin(trained, w, poolMB)
+			TuneMargin(trained, w, poolMB, opts.Parallelism)
 			setups := append(Baselines(), MLCRSetup(trained))
-			for _, s := range setups {
-				res := RunOnce(s, w, poolMB)
-				a := acc[s.Name][ps.Name]
-				a.totals = append(a.totals, res.Metrics.TotalStartup())
-				a.avgs = append(a.avgs, res.Metrics.AvgStartup())
-				a.colds = append(a.colds, res.Metrics.ColdStarts())
+			results := RunAll(setups, w, poolMB, opts)
+			for i, s := range setups {
+				out.rows = append(out.rows, obsRow{
+					policy: s.Name,
+					pool:   ps.Name,
+					total:  results[i].Metrics.TotalStartup(),
+					avg:    results[i].Metrics.AvgStartup(),
+					colds:  results[i].Metrics.ColdStarts(),
+				})
 			}
+		}
+		return out
+	})
+
+	var looseSum float64
+	for _, rep := range reps {
+		looseSum += rep.loose
+		for _, row := range rep.rows {
+			a := acc[row.policy][row.pool]
+			a.totals = append(a.totals, row.total)
+			a.avgs = append(a.avgs, row.avg)
+			a.colds = append(a.colds, row.colds)
 		}
 	}
 

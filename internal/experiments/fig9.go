@@ -34,10 +34,11 @@ func Fig9(opts Options, step int) Fig9Result {
 	w := fstartbench.BuildOverall(opts.Seed, fstartbench.OverallOptions{})
 	loose := CalibrateLoose(w)
 
-	gRes := RunOnce(Baselines()[3], w, loose)
 	trained := TrainMLCR(w, loose, overallFracs(), opts)
-	TuneMargin(trained, w, loose)
-	mRes := RunOnce(MLCRSetup(trained), w, loose)
+	TuneMargin(trained, w, loose, opts.Parallelism)
+	setups := []Setup{Baselines()[3], MLCRSetup(trained)}
+	results := RunAll(setups, w, loose, opts)
+	gRes, mRes := results[0], results[1]
 
 	gLat, gCold := gRes.Metrics.Cumulative()
 	mLat, mCold := mRes.Metrics.Cumulative()

@@ -28,8 +28,11 @@ func Overhead(opts Options) OverheadResult {
 	w := fstartbench.BuildOverall(opts.Seed, fstartbench.OverallOptions{})
 	loose := CalibrateLoose(w)
 	trained := TrainMLCR(w, loose, overallFracs(), opts)
-	TuneMargin(trained, w, loose)
+	TuneMargin(trained, w, loose, opts.Parallelism)
 
+	// The replay below stays sequential and off the harness: wall-clock
+	// decision latency is the measurand, and concurrent runs would
+	// contend for the CPU being timed.
 	timer := &timingScheduler{inner: trained}
 	res := platform.New(platform.Config{PoolCapacityMB: loose, Evictor: trained.Evictor()}, timer).Run(w)
 

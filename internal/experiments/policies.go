@@ -14,35 +14,49 @@ import (
 	"mlcr/internal/platform"
 	"mlcr/internal/policy"
 	"mlcr/internal/pool"
+	"mlcr/internal/runner"
 	"mlcr/internal/workload"
 )
 
 // PolicyNames lists the compared policies in the paper's order.
 var PolicyNames = []string{"LRU", "FaasCache", "KeepAlive", "Greedy-Match", "MLCR"}
 
-// Setup builds a fresh scheduler and its paired eviction policy. A fresh
-// pair is needed per run because schedulers and evictors are stateful.
+// Setup carries a factory building a fresh scheduler and its paired
+// eviction policy. New is called once per run, from the goroutine
+// executing that run, and must return instances used by no other run —
+// schedulers and evictors are stateful, and the parallel harness
+// (internal/runner) panics when two runs share a scheduler instance.
 type Setup struct {
 	Name string
-	Make func() (platform.Scheduler, pool.Evictor)
+	New  func() (platform.Scheduler, pool.Evictor)
+}
+
+// Spec converts the setup into a runner.Spec for the parallel harness.
+// The observer may be nil; when set it must be dedicated to this run.
+func (s Setup) Spec(w workload.Workload, poolMB float64, o *obs.Observer) runner.Spec {
+	sp := runner.Spec{Name: s.Name, Workload: w, PoolCapacityMB: poolMB, New: s.New}
+	if o != nil {
+		sp.NewObserver = func() *obs.Observer { return o }
+	}
+	return sp
 }
 
 // Baselines returns the paper's four comparison policies.
 func Baselines() []Setup {
 	return []Setup{
-		{Name: "LRU", Make: func() (platform.Scheduler, pool.Evictor) {
+		{Name: "LRU", New: func() (platform.Scheduler, pool.Evictor) {
 			s := policy.NewLRU()
 			return s, s.Evictor()
 		}},
-		{Name: "FaasCache", Make: func() (platform.Scheduler, pool.Evictor) {
+		{Name: "FaasCache", New: func() (platform.Scheduler, pool.Evictor) {
 			s := policy.NewFaasCache()
 			return s, s.Evictor()
 		}},
-		{Name: "KeepAlive", Make: func() (platform.Scheduler, pool.Evictor) {
+		{Name: "KeepAlive", New: func() (platform.Scheduler, pool.Evictor) {
 			s := policy.NewKeepAlive()
 			return s, s.Evictor()
 		}},
-		{Name: "Greedy-Match", Make: func() (platform.Scheduler, pool.Evictor) {
+		{Name: "Greedy-Match", New: func() (platform.Scheduler, pool.Evictor) {
 			s := policy.NewGreedyMatch()
 			return s, s.Evictor()
 		}},
@@ -63,6 +77,15 @@ type Options struct {
 	Episodes int
 	// MLCR overrides the scheduler configuration (Slots etc.).
 	MLCR mlcr.Config
+	// Parallelism bounds concurrent simulation runs inside the harness
+	// (internal/runner): <=0 means GOMAXPROCS, 1 forces sequential.
+	// Results are bit-identical at any setting.
+	Parallelism int
+}
+
+// runnerOpts converts the experiment options into harness options.
+func (o Options) runnerOpts() runner.Options {
+	return runner.Options{Parallelism: o.Parallelism}
 }
 
 // WithDefaults fills unset fields. The MLCR defaults (4 slots, a 24-wide
@@ -98,7 +121,8 @@ func (o Options) WithDefaults() Options {
 }
 
 // RunOnce replays a workload through a fresh platform with the given
-// setup and pool capacity.
+// setup and pool capacity. It is a single-spec run of the parallel
+// harness (internal/runner).
 func RunOnce(s Setup, w workload.Workload, poolMB float64) *platform.RunResult {
 	return RunObserved(s, w, poolMB, nil)
 }
@@ -106,8 +130,18 @@ func RunOnce(s Setup, w workload.Workload, poolMB float64) *platform.RunResult {
 // RunObserved is RunOnce with an observability bundle attached to the
 // platform (nil disables instrumentation; see internal/obs).
 func RunObserved(s Setup, w workload.Workload, poolMB float64, o *obs.Observer) *platform.RunResult {
-	sched, ev := s.Make()
-	return platform.New(platform.Config{PoolCapacityMB: poolMB, Evictor: ev, Obs: o}, sched).Run(w)
+	return runner.Run([]runner.Spec{s.Spec(w, poolMB, o)}, runner.Options{Parallelism: 1})[0]
+}
+
+// RunAll evaluates every setup on the same workload and pool capacity
+// through the parallel harness, returning results in setup order. The
+// result slice is bit-identical at any parallelism.
+func RunAll(setups []Setup, w workload.Workload, poolMB float64, opts Options) []*platform.RunResult {
+	specs := make([]runner.Spec, len(setups))
+	for i, s := range setups {
+		specs[i] = s.Spec(w, poolMB, nil)
+	}
+	return runner.Run(specs, opts.runnerOpts())
 }
 
 // TrainMLCR trains one MLCR scheduler on the given workload with a
@@ -157,13 +191,27 @@ var MarginCandidates = []float64{0.05, 0.1, 0.2, 0.5, math.Inf(1)}
 // paper's protocol (training and evaluation use the same FStartBench
 // traces). It leaves the scheduler configured with the winning margin
 // and returns it.
-func TuneMargin(s *mlcr.Scheduler, w workload.Workload, poolMB float64) float64 {
+// Candidates are evaluated concurrently on weight-copied clones (the
+// margin travels with each clone), and ties break toward the earlier
+// candidate — the same selection the sequential loop made.
+func TuneMargin(s *mlcr.Scheduler, w workload.Workload, poolMB float64, parallelism int) float64 {
+	specs := make([]runner.Spec, len(MarginCandidates))
+	for i, m := range MarginCandidates {
+		m := m
+		specs[i] = runner.Spec{
+			Name: "MLCR-margin", Workload: w, PoolCapacityMB: poolMB,
+			New: func() (platform.Scheduler, pool.Evictor) {
+				c := s.Clone()
+				c.SetDeviationMargin(m)
+				return c, c.Evictor()
+			},
+		}
+	}
+	results := runner.Run(specs, runner.Options{Parallelism: parallelism})
 	best, bestTotal := MarginCandidates[0], time.Duration(1<<62-1)
-	for _, m := range MarginCandidates {
-		s.SetDeviationMargin(m)
-		res := RunOnce(MLCRSetup(s), w, poolMB)
+	for i, res := range results {
 		if total := res.Metrics.TotalStartup(); total < bestTotal {
-			best, bestTotal = m, total
+			best, bestTotal = MarginCandidates[i], total
 		}
 	}
 	s.SetDeviationMargin(best)
@@ -188,11 +236,16 @@ func scaleFracs() []float64 {
 	return out
 }
 
-// MLCRSetup wraps a trained scheduler as a Setup. The scheduler is reused
-// across runs (inference is stateless apart from the frozen network).
+// MLCRSetup wraps a trained scheduler as a Setup. Each New call returns
+// a weight-copied clone, never s itself: inference mutates scheduler
+// state (forward-pass activation caches, the pending transition), so
+// concurrent runs must not share one instance. A clone makes exactly
+// the decisions the original would, including its deviation margin at
+// clone time.
 func MLCRSetup(s *mlcr.Scheduler) Setup {
-	return Setup{Name: "MLCR", Make: func() (platform.Scheduler, pool.Evictor) {
-		return s, s.Evictor()
+	return Setup{Name: "MLCR", New: func() (platform.Scheduler, pool.Evictor) {
+		c := s.Clone()
+		return c, c.Evictor()
 	}}
 }
 
@@ -250,7 +303,7 @@ func avgInt(xs []int) int {
 
 // CostGreedySetup returns the cost-aware greedy ablation policy.
 func CostGreedySetup() Setup {
-	return Setup{Name: "Cost-Greedy", Make: func() (platform.Scheduler, pool.Evictor) {
+	return Setup{Name: "Cost-Greedy", New: func() (platform.Scheduler, pool.Evictor) {
 		s := policy.NewCostGreedy()
 		return s, s.Evictor()
 	}}

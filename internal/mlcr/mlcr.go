@@ -284,6 +284,22 @@ func (s *Scheduler) Schedule(env platform.Env, inv *workload.Invocation) int {
 	return id
 }
 
+// Clone returns an independent scheduler with the same configuration
+// (including the current deviation margin) and a copy of the trained
+// network weights. Inference through a scheduler mutates it — pending
+// transitions and the network's forward-pass activation caches — so a
+// trained model evaluated by concurrent runs must be cloned once per
+// run. A clone's inference decisions are identical to the original's;
+// replay/optimizer state is not carried over, so clones are for
+// inference (or fresh fine-tuning), not for resuming training.
+func (s *Scheduler) Clone() *Scheduler {
+	c := New(s.cfg)
+	c.agent.CopyWeightsFrom(s.agent)
+	c.epsilon = s.epsilon
+	c.episode = s.episode
+	return c
+}
+
 // SetDeviationMargin adjusts the inference-time confidence gate. The
 // experiment harness selects the margin per pool size by validation on
 // the training workload (a larger margin gates more learned deviations;

@@ -136,6 +136,7 @@ type Platform struct {
 	seen      int
 	prevArr   time.Duration
 	rate      workload.RateEMA
+	ran       bool
 
 	res RunResult
 }
@@ -172,8 +173,14 @@ func New(cfg Config, sched Scheduler) *Platform {
 func (p *Platform) Pool() *pool.Pool { return p.pool }
 
 // Run replays the workload to completion and returns the results. A
-// platform instance runs exactly once.
+// platform instance runs exactly once: scheduler, pool and metrics
+// state carry the finished run, so a second Run would silently produce
+// results contaminated by the first — it panics instead.
 func (p *Platform) Run(w workload.Workload) *RunResult {
+	if p.ran {
+		panic("platform: Run called twice on one Platform; build a fresh instance per run")
+	}
+	p.ran = true
 	if err := w.Validate(); err != nil {
 		panic(fmt.Sprintf("platform: %v", err))
 	}

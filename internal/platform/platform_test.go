@@ -390,3 +390,16 @@ func TestInteractiveInvokeNilFunctionPanics(t *testing.T) {
 	}()
 	p.Invoke(&workload.Invocation{Seq: 0, Fn: nil, Arrival: time.Second})
 }
+
+func TestRunTwicePanics(t *testing.T) {
+	f := fn(1, "debian", "python", "flask", 128)
+	w := mkWorkload([]*workload.Function{f}, time.Second, 3)
+	p := New(Config{PoolCapacityMB: 1000}, alwaysCold{})
+	p.Run(w)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run on one Platform did not panic")
+		}
+	}()
+	p.Run(w)
+}

@@ -1,0 +1,31 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"mlcr/internal/platform"
+)
+
+// Fingerprint serializes every observable field of a run result — the
+// per-invocation samples, pool statistics, cleaner operations, memory
+// peaks, the pool-memory time series and the container count — into a
+// deterministic byte string. Two results are bit-identical iff their
+// fingerprints are equal; the determinism tests compare sequential and
+// parallel sweeps through it.
+func Fingerprint(res *platform.RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s created=%d peakRunning=%x peakAlive=%x\n",
+		res.Policy, res.ContainersCreated, res.PeakRunningMB, res.PeakAliveMB)
+	fmt.Fprintf(&b, "pool adds=%d evict=%d reject=%d expire=%d peak=%x\n",
+		res.PoolStats.Adds, res.PoolStats.Evictions, res.PoolStats.Rejections,
+		res.PoolStats.Expirations, res.PoolStats.PeakUsedMB)
+	fmt.Fprintf(&b, "cleaner=%+v\n", res.CleanerOps)
+	for _, s := range res.Metrics.Samples() {
+		fmt.Fprintf(&b, "s %d %d %d %d %v %d\n", s.Seq, s.FnID, s.Arrival, s.Startup, s.Cold, s.Level)
+	}
+	for i := range res.PoolSeries.T {
+		fmt.Fprintf(&b, "p %d %x\n", res.PoolSeries.T[i], res.PoolSeries.V[i])
+	}
+	return b.String()
+}

@@ -1,8 +1,11 @@
 #!/bin/sh
-# check.sh — fast pre-merge gate: formatting, vet, and race-enabled
-# tests of the concurrency-sensitive packages (the HTTP API and the
-# observability layer, whose registries and recorders are hit from
-# handler goroutines). Run from the repository root, or via `make check`.
+# check.sh — pre-merge gate: formatting, vet, and race-enabled tests of
+# every package. The default run uses -short, which skips the long DQN
+# training experiments but still exercises every concurrency-sensitive
+# path (the parallel run harness, cluster workers, HTTP API and
+# observability registries all race-test in the short set). Set FULL=1
+# for the complete race suite including training runs (~10 min).
+# Run from the repository root, or via `make check` / `make check-full`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,7 +21,12 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== go test -race (api, obs) =="
-go test -race ./internal/api/ ./internal/obs/
+if [ "${FULL:-}" = "1" ]; then
+    echo "== go test -race (all packages, full) =="
+    go test -race ./...
+else
+    echo "== go test -race -short (all packages) =="
+    go test -race -short ./...
+fi
 
 echo "check: all green"
