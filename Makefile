@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-full bench
+.PHONY: build test check check-full bench bench-hotpath
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,8 @@ check-full:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate BENCH_hotpath.json (hot-path micro-benchmarks, DESIGN.md §8).
+# Set BASELINE=/path/to/pre-optimization-checkout to re-measure "before".
+bench-hotpath:
+	sh scripts/bench_hotpath.sh

@@ -74,6 +74,17 @@ type Agent struct {
 	updates int
 	lastTD  float64
 
+	// Workspace: scratch buffers reused across decisions and updates so
+	// the steady-state hot path performs zero heap allocations. They hold
+	// no logical state between calls and are skipped by Save/Load and
+	// CopyWeightsFrom.
+	qvals   *nn.Tensor   // inference output (ForwardInto destination)
+	valid   []int        // ε-greedy valid-action scratch
+	batch   []Transition // minibatch scratch
+	targets []float64    // bootstrap-target scratch
+	idxs    []int        // prioritized-replay leaf-index scratch
+	grad    *nn.Tensor   // one-hot output-gradient scratch
+
 	// OnTrainStep, when non-nil, observes every gradient update — the
 	// training-loop telemetry hook (loss/ε/reward reporting is wired by
 	// callers, e.g. cmd/mlcr-train). A nil hook costs one branch.
@@ -114,9 +125,12 @@ func (a *Agent) Updates() int { return a.updates }
 // a convergence signal for training loops.
 func (a *Agent) LastTDError() float64 { return a.lastTD }
 
-// QValues computes the online network's Q-values for a state.
+// QValues computes the online network's Q-values for a state. The
+// returned tensor is an agent-owned scratch buffer, valid until the next
+// QValues/SelectAction/TrainStep call; clone it to retain the values.
 func (a *Agent) QValues(state *nn.Tensor) *nn.Tensor {
-	return a.online.Forward(state)
+	a.qvals = a.online.ForwardInto(a.qvals, state)
+	return a.qvals
 }
 
 // SelectAction picks an action ε-greedily among valid (masked-in)
@@ -124,16 +138,16 @@ func (a *Agent) QValues(state *nn.Tensor) *nn.Tensor {
 // chosen; otherwise the valid action with the highest Q-value.
 func (a *Agent) SelectAction(s State, epsilon float64) int {
 	if epsilon > 0 && a.rng.Float64() < epsilon {
-		var valid []int
+		a.valid = a.valid[:0]
 		for i, ok := range s.Mask {
 			if ok {
-				valid = append(valid, i)
+				a.valid = append(a.valid, i)
 			}
 		}
-		return valid[a.rng.Intn(len(valid))]
+		return a.valid[a.rng.Intn(len(a.valid))]
 	}
-	q := a.online.Forward(s.X)
-	act, _ := MaskedArgmax(q, s.Mask)
+	a.qvals = a.online.ForwardInto(a.qvals, s.X)
+	act, _ := MaskedArgmax(a.qvals, s.Mask)
 	return act
 }
 
@@ -152,10 +166,14 @@ func (a *Agent) TrainStep() float64 {
 	if a.replay.Len() == 0 {
 		return 0
 	}
-	batch := a.replay.Sample(a.cfg.BatchSize, a.rng)
-	var tdSum float64
-	for _, tr := range batch {
-		target := tr.Reward
+	a.batch = a.replay.SampleInto(a.batch, a.cfg.BatchSize, a.rng)
+	batch := a.batch
+	targets := a.ensureTargets(len(batch))
+	// Pass 1 — bootstrap targets for the whole minibatch. Weights do not
+	// change until opt.Step, so batching the next-state passes ahead of
+	// the gradient passes produces exactly the per-sample values.
+	for i, tr := range batch {
+		targets[i] = tr.Reward
 		if !tr.Done {
 			// Double DQN: the online network selects the next action,
 			// the target network evaluates it — reducing the max-
@@ -163,15 +181,21 @@ func (a *Agent) TrainStep() float64 {
 			oq := a.online.Forward(tr.Next)
 			next, _ := MaskedArgmax(oq, tr.NextMask)
 			nq := a.target.Forward(tr.Next)
-			target += a.cfg.Gamma * nq.Data[next]
+			targets[i] += a.cfg.Gamma * nq.Data[next]
 		}
+	}
+	// Pass 2 — forward/backward per sample through the reused workspaces,
+	// accumulating gradients in the original sample order.
+	var tdSum float64
+	for i, tr := range batch {
 		q := a.online.Forward(tr.State)
-		td := q.Data[tr.Action] - target
+		td := q.Data[tr.Action] - targets[i]
 		tdSum += abs(td)
 		// dL/dQ — nonzero only at the taken action; scaled by batch.
-		grad := nn.NewTensor(1, q.Cols)
+		grad := a.ensureGrad(q.Cols)
 		grad.Data[tr.Action] = 2 * td / float64(len(batch))
 		a.online.Backward(grad)
+		grad.Data[tr.Action] = 0
 	}
 	a.opt.Step()
 	a.updates++
@@ -216,6 +240,24 @@ func (a *Agent) Load(r io.Reader) error {
 	}
 	a.SyncTarget()
 	return nil
+}
+
+// ensureTargets sizes the bootstrap-target scratch.
+func (a *Agent) ensureTargets(n int) []float64 {
+	if cap(a.targets) < n {
+		a.targets = make([]float64, n)
+	}
+	a.targets = a.targets[:n]
+	return a.targets
+}
+
+// ensureGrad returns the zeroed one-hot gradient scratch. Callers must
+// reset the entry they set before the next use.
+func (a *Agent) ensureGrad(cols int) *nn.Tensor {
+	if a.grad == nil || a.grad.Cols != cols {
+		a.grad = nn.NewTensor(1, cols)
+	}
+	return a.grad
 }
 
 func abs(x float64) float64 {

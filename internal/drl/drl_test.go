@@ -156,11 +156,20 @@ func TestFeaturizerTruncatesToSlots(t *testing.T) {
 
 func TestFeaturizerDeterministic(t *testing.T) {
 	f := &Featurizer{Slots: 4}
-	a := buildState(t, f, []*workload.Function{fn(1, "debian", "python", "flask")}, fn(2, "debian", "python", "numpy"))
+	// Build on the same Featurizer reuses its workspace, so copy the
+	// first state's tensor before the second Build overwrites it.
+	a := buildState(t, f, []*workload.Function{fn(1, "debian", "python", "flask")}, fn(2, "debian", "python", "numpy")).X.Clone()
 	b := buildState(t, f, []*workload.Function{fn(1, "debian", "python", "flask")}, fn(2, "debian", "python", "numpy"))
-	for i := range a.X.Data {
-		if a.X.Data[i] != b.X.Data[i] {
+	for i := range a.Data {
+		if a.Data[i] != b.X.Data[i] {
 			t.Fatal("featurization not deterministic")
+		}
+	}
+	// A fresh Featurizer must produce the identical state.
+	c := buildState(t, &Featurizer{Slots: 4}, []*workload.Function{fn(1, "debian", "python", "flask")}, fn(2, "debian", "python", "numpy"))
+	for i := range a.Data {
+		if a.Data[i] != c.X.Data[i] {
+			t.Fatal("workspace featurizer diverges from fresh featurizer")
 		}
 	}
 }

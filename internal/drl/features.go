@@ -14,6 +14,7 @@ import (
 	"mlcr/internal/image"
 	"mlcr/internal/nn"
 	"mlcr/internal/platform"
+	"mlcr/internal/pool"
 	"mlcr/internal/workload"
 )
 
@@ -43,6 +44,17 @@ type Featurizer struct {
 	NormMB float64
 	// NormTime saturates duration features: f(d) = d/(d+NormTime).
 	NormTime time.Duration
+
+	// Workspace: scratch buffers reused across Build calls so a
+	// steady-state decision allocates nothing. The State returned by
+	// Build aliases x/ids/mask and is only valid until the next Build on
+	// the same Featurizer; callers that retain state (replay training)
+	// must clone what they keep.
+	x      *nn.Tensor
+	ids    []int
+	mask   []bool
+	cands  []candidate
+	mcands []pool.MatchCandidate
 }
 
 // State is one featurized decision point.
@@ -106,19 +118,24 @@ type candidate struct {
 // Build featurizes a decision point. Candidates are the idle pool
 // containers that match the invocation at any level, ranked best-first
 // (deeper match level, then lower estimated startup, then most recently
-// used, then lower ID) and truncated to Slots.
+// used, then lower ID) and truncated to Slots. The returned State shares
+// the Featurizer's workspace buffers (see the Workspace fields).
 func (f *Featurizer) Build(env platform.Env, inv *workload.Invocation) State {
 	// The mask's prior knowledge (Section IV-C): no-match containers
 	// and warm starts that would cost at least as much as a cold start
 	// are manifestly erroneous and are never offered to the network.
 	coldEst := container.Estimate(inv.Fn, core.NoMatch, false).Total()
-	var cands []candidate
-	for _, c := range env.Pool.Idle() {
-		est, lv := container.EstimateFor(inv.Fn, c)
-		if lv == core.NoMatch || est.Total() >= coldEst {
+	// The pool's match index hands back exactly the containers a full
+	// scan would match; the total-order sort below makes the enumeration
+	// order irrelevant.
+	f.mcands = env.Pool.AppendMatches(f.mcands[:0], inv.Fn.Image)
+	cands := f.cands[:0]
+	for _, mc := range f.mcands {
+		est := container.Estimate(inv.Fn, mc.Level, mc.C.FnID != inv.Fn.ID).Total()
+		if est >= coldEst {
 			continue
 		}
-		cands = append(cands, candidate{c: c, level: lv, est: est.Total()})
+		cands = append(cands, candidate{c: mc.C, level: mc.Level, est: est})
 	}
 	// Insertion sort: candidate lists are pool-sized and the ordering
 	// must be fully deterministic.
@@ -139,12 +156,15 @@ func (f *Featurizer) Build(env platform.Env, inv *workload.Invocation) State {
 			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
 	}
+	f.cands = cands
 	if len(cands) > f.Slots {
 		cands = cands[:f.Slots]
 	}
 
 	tokens := f.Tokens()
-	x := nn.NewTensor(tokens, tokenWidth)
+	f.x = nn.EnsureTensor(f.x, tokens, tokenWidth)
+	x := f.x
+	x.Zero()
 	normMB := f.NormMB
 	if normMB <= 0 {
 		normMB = 1024
@@ -182,10 +202,16 @@ func (f *Featurizer) Build(env platform.Env, inv *workload.Invocation) State {
 	levelBuckets(ft, 11, inv.Fn.Image)
 
 	// Slot tokens.
-	ids := make([]int, f.Slots)
-	mask := make([]bool, f.Actions())
+	if cap(f.ids) < f.Slots {
+		f.ids = make([]int, f.Slots)
+	}
+	if cap(f.mask) < f.Actions() {
+		f.mask = make([]bool, f.Actions())
+	}
+	ids, mask := f.ids[:f.Slots], f.mask[:f.Actions()]
 	for i := 0; i < f.Slots; i++ {
 		ids[i] = -1
+		mask[i] = false
 	}
 	mask[f.Slots] = true // cold start always valid
 	greedyEst := container.Estimate(inv.Fn, core.NoMatch, false).Total()

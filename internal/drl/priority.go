@@ -3,8 +3,6 @@ package drl
 import (
 	"math"
 	"math/rand"
-
-	"mlcr/internal/nn"
 )
 
 // PrioritizedReplay is a proportional prioritized experience buffer
@@ -82,11 +80,16 @@ func (r *PrioritizedReplay) Update(idx int, tdErr float64) {
 // Sample draws n transitions proportionally to priority, returning the
 // transitions and their leaf indices (for Update).
 func (r *PrioritizedReplay) Sample(n int, rng *rand.Rand) ([]Transition, []int) {
+	return r.SampleInto(make([]Transition, n), make([]int, n), rng)
+}
+
+// SampleInto is Sample into caller-provided slices of length n (reused
+// across calls), drawing the identical rng sequence.
+func (r *PrioritizedReplay) SampleInto(out []Transition, idxs []int, rng *rand.Rand) ([]Transition, []int) {
 	if r.size == 0 {
 		panic("drl: sampling from empty prioritized replay")
 	}
-	out := make([]Transition, n)
-	idxs := make([]int, n)
+	n := len(out)
 	total := r.tree[1]
 	for i := 0; i < n; i++ {
 		target := rng.Float64() * total
@@ -117,23 +120,37 @@ func (a *Agent) TrainStepPrioritized(pr *PrioritizedReplay) float64 {
 	if pr.Len() == 0 {
 		return 0
 	}
-	batch, idxs := pr.Sample(a.cfg.BatchSize, a.rng)
-	var tdSum float64
+	n := a.cfg.BatchSize
+	if cap(a.batch) < n {
+		a.batch = make([]Transition, n)
+	}
+	if cap(a.idxs) < n {
+		a.idxs = make([]int, n)
+	}
+	batch, idxs := pr.SampleInto(a.batch[:n], a.idxs[:n], a.rng)
+	a.batch, a.idxs = batch, idxs
+	targets := a.ensureTargets(len(batch))
+	// Two passes, as in TrainStep: bootstrap targets first, then the
+	// gradient pass (which also refreshes priorities in sample order).
 	for i, tr := range batch {
-		target := tr.Reward
+		targets[i] = tr.Reward
 		if !tr.Done {
 			oq := a.online.Forward(tr.Next)
 			next, _ := MaskedArgmax(oq, tr.NextMask)
 			nq := a.target.Forward(tr.Next)
-			target += a.cfg.Gamma * nq.Data[next]
+			targets[i] += a.cfg.Gamma * nq.Data[next]
 		}
+	}
+	var tdSum float64
+	for i, tr := range batch {
 		q := a.online.Forward(tr.State)
-		td := q.Data[tr.Action] - target
+		td := q.Data[tr.Action] - targets[i]
 		tdSum += abs(td)
 		pr.Update(idxs[i], td)
-		grad := nn.NewTensor(1, q.Cols)
+		grad := a.ensureGrad(q.Cols)
 		grad.Data[tr.Action] = 2 * td / float64(len(batch))
 		a.online.Backward(grad)
+		grad.Data[tr.Action] = 0
 	}
 	a.opt.Step()
 	a.updates++

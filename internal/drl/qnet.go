@@ -89,6 +89,18 @@ func (q *QNetwork) Backward(dq *nn.Tensor) {
 	q.net.Backward(dq)
 }
 
+// ForwardInto is the inference-only forward pass: it computes Q-values
+// for one state and copies them into dst (grown via nn.EnsureTensor when
+// needed), so the result stays valid across subsequent forward passes.
+// Unlike Forward, the returned tensor is owned by the caller, not by the
+// network's internal workspace. Steady-state calls allocate nothing.
+func (q *QNetwork) ForwardInto(dst *nn.Tensor, state *nn.Tensor) *nn.Tensor {
+	out := q.net.Forward(state)
+	dst = nn.EnsureTensor(dst, out.Rows, out.Cols)
+	nn.CopyInto(dst, out)
+	return dst
+}
+
 // MaskedArgmax returns the valid action with the highest Q-value and that
 // value. It panics when no action is valid (the cold-start action is
 // always valid in practice).

@@ -63,12 +63,19 @@ func (r *Replay) Add(t Transition) {
 // Sample draws n transitions uniformly with replacement. It panics on an
 // empty buffer.
 func (r *Replay) Sample(n int, rng *rand.Rand) []Transition {
+	return r.SampleInto(make([]Transition, 0, n), n, rng)
+}
+
+// SampleInto is Sample into a caller-provided slice (reused when its
+// capacity suffices), drawing the identical rng sequence. It returns the
+// filled slice.
+func (r *Replay) SampleInto(dst []Transition, n int, rng *rand.Rand) []Transition {
 	if r.Len() == 0 {
 		panic("drl: sampling from empty replay buffer")
 	}
-	out := make([]Transition, n)
-	for i := range out {
-		out[i] = r.buf[rng.Intn(r.Len())]
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.buf[rng.Intn(r.Len())])
 	}
-	return out
+	return dst
 }

@@ -137,8 +137,10 @@ func (im Image) computeLevelKey(l Level) string {
 // LevelSizeMB returns the total package size of one level.
 func (im Image) LevelSizeMB(l Level) float64 {
 	var s float64
-	for _, p := range im.AtLevel(l) {
-		s += p.SizeMB
+	for _, p := range im.Pkgs {
+		if p.Level == l {
+			s += p.SizeMB
+		}
 	}
 	return s
 }
@@ -156,8 +158,10 @@ func (im Image) SizeMB() float64 {
 // level from the registry.
 func (im Image) PullTime(l Level) time.Duration {
 	var d time.Duration
-	for _, p := range im.AtLevel(l) {
-		d += p.Pull
+	for _, p := range im.Pkgs {
+		if p.Level == l {
+			d += p.Pull
+		}
 	}
 	return d
 }
@@ -166,8 +170,10 @@ func (im Image) PullTime(l Level) time.Duration {
 // given level.
 func (im Image) InstallTime(l Level) time.Duration {
 	var d time.Duration
-	for _, p := range im.AtLevel(l) {
-		d += p.Install
+	for _, p := range im.Pkgs {
+		if p.Level == l {
+			d += p.Install
+		}
 	}
 	return d
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mlcr/internal/drl"
+	"mlcr/internal/nn"
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
 	"mlcr/internal/workload"
@@ -130,12 +131,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// pending holds the half-built transition awaiting the next state.
+// pending holds the half-built transition awaiting the next state. The
+// featurizer's State buffers are scratch (overwritten by the next Build),
+// so what survives across steps is copied out: the greedy estimate by
+// value and — in training mode only, where the transition will enter the
+// long-lived replay pool — a clone of the state tensor. Inference stores
+// no tensor at all and stays allocation-free.
 type pending struct {
-	state   drl.State
-	action  int
-	startup time.Duration
-	have    bool
+	x         *nn.Tensor // cloned state tensor (nil in inference mode)
+	action    int
+	startup   time.Duration
+	greedyEst time.Duration
+	have      bool
 }
 
 // Scheduler is the MLCR container scheduler. It implements
@@ -211,9 +218,9 @@ func (s *Scheduler) BeginEpisode() {
 // EndEpisode flushes the final transition as terminal and decays the
 // exploration rate.
 func (s *Scheduler) EndEpisode() {
-	if s.training && s.pend.have {
+	if s.training && s.pend.have && s.pend.x != nil {
 		s.agent.Observe(drl.Transition{
-			State:  s.pend.state.X,
+			State:  s.pend.x,
 			Action: s.pend.action,
 			Reward: s.shapedReward(0), // terminal potential is zero
 			Done:   true,
@@ -233,18 +240,27 @@ func (s *Scheduler) EndEpisode() {
 func (s *Scheduler) Schedule(env platform.Env, inv *workload.Invocation) int {
 	state := s.feat.Build(env, inv)
 
-	if s.training && s.pend.have {
-		s.agent.Observe(drl.Transition{
-			State:    s.pend.state.X,
-			Action:   s.pend.action,
-			Reward:   s.shapedReward(state.GreedyEst),
-			Next:     state.X,
-			NextMask: state.Mask,
-			Done:     false,
-		})
-		s.steps++
-		if s.steps%s.cfg.TrainEvery == 0 && s.agent.Replay().Len() >= s.cfg.WarmupObservations {
-			s.agent.TrainStep()
+	// In training mode the transition tensors outlive this decision in
+	// the replay pool, so the scratch state is cloned once; the clone is
+	// both this step's Next and the next step's State (the same sharing
+	// the per-call featurizer allocation used to provide). Inference
+	// clones nothing.
+	var next *nn.Tensor
+	if s.training {
+		next = state.X.Clone()
+		if s.pend.have && s.pend.x != nil {
+			s.agent.Observe(drl.Transition{
+				State:    s.pend.x,
+				Action:   s.pend.action,
+				Reward:   s.shapedReward(state.GreedyEst),
+				Next:     next,
+				NextMask: append([]bool(nil), state.Mask...),
+				Done:     false,
+			})
+			s.steps++
+			if s.steps%s.cfg.TrainEvery == 0 && s.agent.Replay().Len() >= s.cfg.WarmupObservations {
+				s.agent.TrainStep()
+			}
 		}
 	}
 
@@ -272,7 +288,7 @@ func (s *Scheduler) Schedule(env platform.Env, inv *workload.Invocation) int {
 			action = greedyAction
 		}
 	}
-	s.pend = pending{state: state, action: action, have: true}
+	s.pend = pending{x: next, action: action, greedyEst: state.GreedyEst, have: true}
 
 	if action == s.cfg.Slots {
 		return platform.ColdStart
@@ -332,7 +348,7 @@ func (s *Scheduler) OnResult(_ platform.Env, _ *workload.Invocation, res platfor
 func (s *Scheduler) shapedReward(nextGreedyEst time.Duration) float64 {
 	r := -s.pend.startup.Seconds()
 	if w := s.cfg.ShapingWeight; w != 0 {
-		phiS := -s.pend.state.GreedyEst.Seconds()
+		phiS := -s.pend.greedyEst.Seconds()
 		phiNext := -nextGreedyEst.Seconds()
 		r += w * (s.cfg.Gamma*phiNext - phiS)
 	}

@@ -5,7 +5,6 @@ import (
 	"testing"
 	"time"
 
-	"mlcr/internal/drl"
 	"mlcr/internal/platform"
 	"mlcr/internal/policy"
 	"mlcr/internal/workload"
@@ -49,9 +48,9 @@ func TestShapedRewardMath(t *testing.T) {
 	cfg.RewardScale = 2
 	s := New(cfg)
 	s.pend = pending{
-		state:   drl.State{GreedyEst: 3 * time.Second},
-		startup: 4 * time.Second,
-		have:    true,
+		greedyEst: 3 * time.Second,
+		startup:   4 * time.Second,
+		have:      true,
 	}
 	// Default: raw reward -startup/scale.
 	if got, want := s.shapedReward(5*time.Second), -4.0/2; math.Abs(got-want) > 1e-12 {

@@ -63,6 +63,7 @@ func (a *Adam) Step() {
 			vHat := v.Data[j] / bc2
 			p.W.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
 		}
+		p.MarkUpdated()
 	}
 	a.ZeroGrad()
 }

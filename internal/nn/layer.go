@@ -11,11 +11,45 @@ type Param struct {
 	Name string
 	W    *Tensor
 	Grad *Tensor
+
+	// version counts weight updates; derived caches (weight transposes)
+	// compare it to decide whether they are stale. Optimizer steps,
+	// CopyParams and Load bump it. Code that mutates W.Data directly must
+	// call MarkUpdated afterwards or stale caches will be served.
+	version uint64
 }
 
 // newParam allocates a parameter and its zeroed gradient.
 func newParam(name string, rows, cols int) *Param {
 	return &Param{Name: name, W: NewTensor(rows, cols), Grad: NewTensor(rows, cols)}
+}
+
+// MarkUpdated records that the parameter's weights changed, invalidating
+// derived caches (e.g. a layer's cached weight transpose).
+func (p *Param) MarkUpdated() { p.version++ }
+
+// Version returns the weight-update counter.
+func (p *Param) Version() uint64 { return p.version }
+
+// paramTranspose lazily caches a parameter's weight transpose, revalidated
+// against the parameter's update version. The cache belongs to one layer
+// instance (like all workspaces, it is not goroutine-safe) and is never
+// serialized — gob snapshots and Clone paths rebuild it on demand.
+type paramTranspose struct {
+	t       *Tensor
+	version uint64
+	valid   bool
+}
+
+// of returns pᵀ, recomputing it only when p changed since the last call.
+func (c *paramTranspose) of(p *Param) *Tensor {
+	if !c.valid || c.version != p.version {
+		c.t = EnsureTensor(c.t, p.W.Cols, p.W.Rows)
+		TransposeInto(c.t, p.W)
+		c.version = p.version
+		c.valid = true
+	}
+	return c.t
 }
 
 // Layer is a differentiable transformation of a [rows, cols] tensor.
@@ -39,6 +73,14 @@ type Linear struct {
 	Bias    *Param // 1×Out
 
 	x *Tensor // cached input
+
+	// Workspace: steady-state Forward/Backward reuses these buffers and
+	// performs zero heap allocations. The tensors returned by Forward and
+	// Backward are owned by the layer and valid until its next call.
+	y  *Tensor        // forward output
+	dx *Tensor        // input gradient
+	dw *Tensor        // weight-gradient scratch (summed into Weight.Grad)
+	wT paramTranspose // cached Weightᵀ for the input-gradient matmul
 }
 
 // NewLinear creates a linear layer with He-initialized weights.
@@ -57,7 +99,8 @@ func (l *Linear) Forward(x *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: linear expects %d inputs, got %d", l.In, x.Cols))
 	}
 	l.x = x
-	y := MatMul(x, l.Weight.W)
+	l.y = EnsureTensor(l.y, x.Rows, l.Out)
+	y := matMulViaTInto(l.y, x, l.wT.of(l.Weight))
 	for r := 0; r < y.Rows; r++ {
 		row := y.Row(r)
 		for j, b := range l.Bias.W.Data {
@@ -69,14 +112,20 @@ func (l *Linear) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (l *Linear) Backward(dy *Tensor) *Tensor {
-	AddInto(l.Weight.Grad, TMatMul(l.x, dy))
+	l.dw = EnsureTensor(l.dw, l.In, l.Out)
+	AddInto(l.Weight.Grad, TMatMulInto(l.dw, l.x, dy))
 	for r := 0; r < dy.Rows; r++ {
 		row := dy.Row(r)
 		for j, v := range row {
 			l.Bias.Grad.Data[j] += v
 		}
 	}
-	return MatMulT(dy, l.Weight.W)
+	// dy×Wᵀ through the cached transpose: MatMulInto against Weightᵀ adds
+	// the same products in the same k order as MatMulT against Weight, so
+	// the result is bit-identical while exact-zero rows of dy (the DQN's
+	// one-hot action gradients) are skipped entirely.
+	l.dx = EnsureTensor(l.dx, dy.Rows, l.In)
+	return MatMulInto(l.dx, dy, l.wT.of(l.Weight))
 }
 
 // Params implements Layer.
@@ -85,11 +134,15 @@ func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool
+
+	y, dx *Tensor // workspace: reused forward output / input gradient
 }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor) *Tensor {
-	y := x.Clone()
+	r.y = EnsureTensor(r.y, x.Rows, x.Cols)
+	y := r.y
+	copy(y.Data, x.Data)
 	if cap(r.mask) < len(y.Data) {
 		r.mask = make([]bool, len(y.Data))
 	}
@@ -107,7 +160,9 @@ func (r *ReLU) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dy *Tensor) *Tensor {
-	dx := dy.Clone()
+	r.dx = EnsureTensor(r.dx, dy.Rows, dy.Cols)
+	dx := r.dx
+	copy(dx.Data, dy.Data)
 	for i := range dx.Data {
 		if !r.mask[i] {
 			dx.Data[i] = 0
@@ -129,6 +184,9 @@ type LayerNorm struct {
 
 	x, norm *Tensor
 	invStd  []float64
+
+	y, dx *Tensor   // workspace: reused forward output / input gradient
+	dn    []float64 // per-row gradient scratch
 }
 
 // NewLayerNorm creates a layer norm over rows of width dim.
@@ -147,9 +205,13 @@ func (ln *LayerNorm) Forward(x *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: layernorm expects width %d, got %d", ln.Dim, x.Cols))
 	}
 	ln.x = x
-	ln.norm = NewTensor(x.Rows, x.Cols)
-	ln.invStd = make([]float64, x.Rows)
-	y := NewTensor(x.Rows, x.Cols)
+	ln.norm = EnsureTensor(ln.norm, x.Rows, x.Cols)
+	if cap(ln.invStd) < x.Rows {
+		ln.invStd = make([]float64, x.Rows)
+	}
+	ln.invStd = ln.invStd[:x.Rows]
+	ln.y = EnsureTensor(ln.y, x.Rows, x.Cols)
+	y := ln.y
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)
 		var mean float64
@@ -176,13 +238,17 @@ func (ln *LayerNorm) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (ln *LayerNorm) Backward(dy *Tensor) *Tensor {
-	dx := NewTensor(dy.Rows, dy.Cols)
+	ln.dx = EnsureTensor(ln.dx, dy.Rows, dy.Cols)
+	dx := ln.dx
+	if cap(ln.dn) < ln.Dim {
+		ln.dn = make([]float64, ln.Dim)
+	}
 	n := float64(ln.Dim)
 	for r := 0; r < dy.Rows; r++ {
 		dyr, nr, dxr := dy.Row(r), ln.norm.Row(r), dx.Row(r)
 		// Accumulate parameter grads and the two reduction terms.
 		var sumDn, sumDnN float64
-		dn := make([]float64, ln.Dim)
+		dn := ln.dn[:ln.Dim]
 		for i := range dyr {
 			ln.Gain.Grad.Data[i] += dyr[i] * nr[i]
 			ln.Bias.Grad.Data[i] += dyr[i]
@@ -236,17 +302,21 @@ func (s *Sequential) Params() []*Param {
 // map per-token attention outputs to a single action-value vector.
 type Flatten struct {
 	rows, cols int
+
+	fwd, bwd Tensor // reusable headers (storage is shared with the input)
 }
 
 // Forward implements Layer.
 func (f *Flatten) Forward(x *Tensor) *Tensor {
 	f.rows, f.cols = x.Rows, x.Cols
-	return FromSlice(x.Data, 1, x.Rows*x.Cols)
+	f.fwd = Tensor{Rows: 1, Cols: x.Rows * x.Cols, Data: x.Data}
+	return &f.fwd
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(dy *Tensor) *Tensor {
-	return FromSlice(dy.Data, f.rows, f.cols)
+	f.bwd = Tensor{Rows: f.rows, Cols: f.cols, Data: dy.Data}
+	return &f.bwd
 }
 
 // Params implements Layer.

@@ -43,15 +43,19 @@ func checkGrads(t *testing.T, l Layer, x *Tensor, tol float64) {
 			t.Fatalf("input grad[%d] = %v, numeric %v", i, dx.Data[i], num)
 		}
 	}
-	// Parameter gradients.
+	// Parameter gradients. Direct W.Data writes must MarkUpdated so the
+	// forward pass drops its cached transpose (DESIGN.md §8).
 	for _, p := range l.Params() {
 		for i := range p.W.Data {
 			orig := p.W.Data[i]
 			p.W.Data[i] = orig + h
+			p.MarkUpdated()
 			lp := lossOf(l.Forward(x), r)
 			p.W.Data[i] = orig - h
+			p.MarkUpdated()
 			lm := lossOf(l.Forward(x), r)
 			p.W.Data[i] = orig
+			p.MarkUpdated()
 			num := (lp - lm) / (2 * h)
 			if math.Abs(num-p.Grad.Data[i]) > tol*(1+math.Abs(num)) {
 				t.Fatalf("%s grad[%d] = %v, numeric %v", p.Name, i, p.Grad.Data[i], num)

@@ -46,6 +46,7 @@ func Load(r io.Reader, params []*Param) error {
 				p.Name, p.W.Rows, p.W.Cols, sp.Rows, sp.Cols)
 		}
 		copy(p.W.Data, sp.Data)
+		p.MarkUpdated()
 	}
 	return nil
 }
@@ -84,5 +85,6 @@ func CopyParams(dst, src []*Param) {
 			panic(fmt.Sprintf("nn: param %d shape mismatch", i))
 		}
 		copy(dst[i].W.Data, src[i].W.Data)
+		dst[i].MarkUpdated()
 	}
 }

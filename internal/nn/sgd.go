@@ -39,6 +39,7 @@ func (s *SGD) Step() {
 				p.W.Data[j] -= s.LR * g
 			}
 		}
+		p.MarkUpdated()
 		p.Grad.Zero()
 	}
 }

@@ -80,12 +80,69 @@ func (t *Tensor) Randn(rng *rand.Rand, std float64) *Tensor {
 	return t
 }
 
-// MatMul returns a×b. Panics on shape mismatch.
-func MatMul(a, b *Tensor) *Tensor {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("nn: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+// EnsureTensor returns t reshaped to rows×cols when its backing array is
+// large enough, or a freshly allocated tensor otherwise. It is the
+// workspace primitive: steady-state calls with a stable shape reuse the
+// same storage and never touch the heap. The returned tensor's contents
+// are unspecified — callers that need zeros must Zero it (the *Into ops
+// below do their own zeroing where the naive op started from zeros).
+func EnsureTensor(t *Tensor, rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("nn: invalid tensor shape %dx%d", rows, cols))
 	}
-	out := NewTensor(a.Rows, b.Cols)
+	if t == nil || cap(t.Data) < rows*cols {
+		return NewTensor(rows, cols)
+	}
+	t.Rows, t.Cols = rows, cols
+	t.Data = t.Data[:rows*cols]
+	return t
+}
+
+// CopyInto copies src into dst element-wise. Shapes must match.
+func CopyInto(dst, src *Tensor) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("nn: copy %dx%d <- %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	copy(dst.Data, src.Data)
+}
+
+// TransposeInto writes srcᵀ into dst. dst must be src.Cols×src.Rows.
+func TransposeInto(dst, src *Tensor) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic(fmt.Sprintf("nn: transpose %dx%d into %dx%d", src.Rows, src.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < src.Rows; i++ {
+		srow := src.Row(i)
+		for j, v := range srow {
+			dst.Data[j*dst.Cols+i] = v
+		}
+	}
+}
+
+// axpyRow computes orow[j] += av*brow[j] for every j, 4-way unrolled.
+// Output elements are independent, so the unroll changes instruction
+// scheduling only — every orow[j] sees the same single add it would in
+// the plain loop.
+func axpyRow(orow, brow []float64, av float64) {
+	n := len(brow)
+	orow = orow[:n]
+	j := 0
+	for ; j+3 < n; j += 4 {
+		orow[j] += av * brow[j]
+		orow[j+1] += av * brow[j+1]
+		orow[j+2] += av * brow[j+2]
+		orow[j+3] += av * brow[j+3]
+	}
+	for ; j < n; j++ {
+		orow[j] += av * brow[j]
+	}
+}
+
+// matMulAcc accumulates a×b into out without zeroing it first. The loop
+// order (k ascending per output element, exact-zero lhs entries skipped)
+// is the single definition shared by MatMul and MatMulInto so the two are
+// bit-identical by construction.
+func matMulAcc(out, a, b *Tensor) {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -93,13 +150,137 @@ func MatMul(a, b *Tensor) *Tensor {
 			if av == 0 {
 				continue
 			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+			axpyRow(orow, b.Row(k), av)
 		}
 	}
+}
+
+// MatMul returns a×b. Panics on shape mismatch.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewTensor(a.Rows, b.Cols)
+	matMulAcc(out, a, b)
 	return out
+}
+
+// MatMulInto computes a×b into dst (zeroed first), producing exactly the
+// values MatMul would, with no allocation. dst must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmul dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	matMulAcc(dst, a, b)
+	return dst
+}
+
+// matMulTCore writes a×bᵀ into out, overwriting every element.
+func matMulTCore(out, a, b *Tensor) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = dotRow(arow, b.Row(j))
+		}
+	}
+}
+
+// dotRow returns the k-ascending dot product of two equal-length rows —
+// the exact accumulation order matMulTCore has always used.
+func dotRow(arow, brow []float64) float64 {
+	brow = brow[:len(arow)]
+	var s float64
+	for k, av := range arow {
+		s += av * brow[k]
+	}
+	return s
+}
+
+// dotSkipRow is dotRow with matMulAcc's exact-zero skip: a zero arow
+// entry contributes nothing rather than adding ±0.
+func dotSkipRow(arow, brow []float64) float64 {
+	brow = brow[:len(arow)]
+	var s float64
+	for k, av := range arow {
+		if av != 0 {
+			s += av * brow[k]
+		}
+	}
+	return s
+}
+
+// matMulViaTInto computes a×b into dst given bt = bᵀ. Every dst element
+// is a register-resident dot accumulated k ascending with exact-zero a
+// entries skipped — the same adds, in the same order, as matMulAcc over
+// a zeroed dst, so MatMul(a, b) and matMulViaTInto(dst, a, bᵀ) are
+// bit-identical. The transposed layout turns the hot inner loop from
+// load-add-store (axpyRow) into four independent register accumulations.
+func matMulViaTInto(dst, a, bt *Tensor) *Tensor {
+	if a.Cols != bt.Cols {
+		panic(fmt.Sprintf("nn: matmulViaT %dx%d × (%dx%d)ᵀᵀ", a.Rows, a.Cols, bt.Rows, bt.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != bt.Rows {
+		panic(fmt.Sprintf("nn: matmulViaT into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, bt.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		j := 0
+		// 8 accumulator chains keep the FP adders busy across the
+		// ~4-cycle add latency; each chain is still k-ascending.
+		for ; j+7 < len(drow); j += 8 {
+			b0 := bt.Row(j)[:len(arow)]
+			b1 := bt.Row(j + 1)[:len(arow)]
+			b2 := bt.Row(j + 2)[:len(arow)]
+			b3 := bt.Row(j + 3)[:len(arow)]
+			b4 := bt.Row(j + 4)[:len(arow)]
+			b5 := bt.Row(j + 5)[:len(arow)]
+			b6 := bt.Row(j + 6)[:len(arow)]
+			b7 := bt.Row(j + 7)[:len(arow)]
+			var s0, s1, s2, s3, s4, s5, s6, s7 float64
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+				s4 += av * b4[k]
+				s5 += av * b5[k]
+				s6 += av * b6[k]
+				s7 += av * b7[k]
+			}
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+			drow[j+4], drow[j+5], drow[j+6], drow[j+7] = s4, s5, s6, s7
+		}
+		for ; j+3 < len(drow); j += 4 {
+			b0 := bt.Row(j)[:len(arow)]
+			b1 := bt.Row(j + 1)[:len(arow)]
+			b2 := bt.Row(j + 2)[:len(arow)]
+			b3 := bt.Row(j + 3)[:len(arow)]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < len(drow); j++ {
+			drow[j] = dotSkipRow(arow, bt.Row(j))
+		}
+	}
+	return dst
 }
 
 // MatMulT returns a×bᵀ.
@@ -108,18 +289,35 @@ func MatMulT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: matmulT %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewTensor(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k := range arow {
-				s += arow[k] * brow[k]
+	matMulTCore(out, a, b)
+	return out
+}
+
+// MatMulTInto computes a×bᵀ into dst with no allocation; values equal
+// MatMulT exactly. dst must not alias a or b.
+func MatMulTInto(dst, a, b *Tensor) *Tensor {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmulT %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmulT dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	matMulTCore(dst, a, b)
+	return dst
+}
+
+// tMatMulAcc accumulates aᵀ×b into out without zeroing it first.
+func tMatMulAcc(out, a, b *Tensor) {
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
 			}
-			out.Set(i, j, s)
+			axpyRow(out.Row(i), brow, av)
 		}
 	}
-	return out
 }
 
 // TMatMul returns aᵀ×b.
@@ -128,20 +326,22 @@ func TMatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: tmatmul (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewTensor(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	tMatMulAcc(out, a, b)
 	return out
+}
+
+// TMatMulInto computes aᵀ×b into dst (zeroed first) with no allocation;
+// values equal TMatMul exactly. dst must not alias a or b.
+func TMatMulInto(dst, a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: tmatmul (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: tmatmul dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	tMatMulAcc(dst, a, b)
+	return dst
 }
 
 // AddInto adds b into a element-wise (a += b).
@@ -165,7 +365,15 @@ func (t *Tensor) Scale(s float64) *Tensor {
 // SoftmaxRows applies softmax independently to each row, returning a new
 // tensor. Numerically stable (max-shifted).
 func SoftmaxRows(t *Tensor) *Tensor {
-	out := NewTensor(t.Rows, t.Cols)
+	return SoftmaxRowsInto(NewTensor(t.Rows, t.Cols), t)
+}
+
+// SoftmaxRowsInto computes the row-wise softmax of t into out (fully
+// overwritten) with no allocation; values equal SoftmaxRows exactly.
+func SoftmaxRowsInto(out, t *Tensor) *Tensor {
+	if out.Rows != t.Rows || out.Cols != t.Cols {
+		panic(fmt.Sprintf("nn: softmax dst %dx%d, want %dx%d", out.Rows, out.Cols, t.Rows, t.Cols))
+	}
 	for r := 0; r < t.Rows; r++ {
 		row := t.Row(r)
 		max := row[0]
@@ -192,7 +400,12 @@ func SoftmaxRows(t *Tensor) *Tensor {
 // dx_i = y_i * (dy_i - Σ_j dy_j y_j) for each row, where y is the softmax
 // output.
 func softmaxBackwardRows(y, dy *Tensor) *Tensor {
-	dx := NewTensor(y.Rows, y.Cols)
+	return softmaxBackwardRowsInto(NewTensor(y.Rows, y.Cols), y, dy)
+}
+
+// softmaxBackwardRowsInto is softmaxBackwardRows into a caller-provided
+// tensor (fully overwritten).
+func softmaxBackwardRowsInto(dx, y, dy *Tensor) *Tensor {
 	for r := 0; r < y.Rows; r++ {
 		yr, dyr, dxr := y.Row(r), dy.Row(r), dx.Row(r)
 		var dot float64

@@ -1,0 +1,100 @@
+package pool
+
+import (
+	"mlcr/internal/container"
+	"mlcr/internal/core"
+	"mlcr/internal/image"
+)
+
+// MatchCandidate is one idle container that matches a queried image,
+// together with its match level.
+type MatchCandidate struct {
+	C     *container.Container
+	Level core.MatchLevel
+}
+
+// AppendMatches appends every idle container matching img at some level
+// (L3 first, then L2, then L1) to dst and returns it. The result set and
+// levels are exactly those of scanning the whole pool with core.Match;
+// only the enumeration order differs (callers needing a specific order
+// sort with a total order, as the DQN featurizer does). Passing a reused
+// dst slice makes steady-state calls allocation-free.
+//
+// The index exploits the prefix structure of multi-level matching
+// (Table I): a MatchL3 container shares all three level keys with img, a
+// MatchL2 container the first two, a MatchL1 container the first one. So
+// the L3 bucket for img's full key holds exactly the full matches, the
+// L2 bucket minus those holds the L2 matches, and the L1 bucket minus
+// both holds the L1 matches — no other container can match at all.
+func (p *Pool) AppendMatches(dst []MatchCandidate, img image.Image) []MatchCandidate {
+	k1 := img.LevelKey(image.OS)
+	k2 := img.LevelKey(image.Language)
+	k3 := img.LevelKey(image.Runtime)
+	for _, e := range p.l3[[3]string{k1, k2, k3}] {
+		dst = append(dst, MatchCandidate{C: e.c, Level: core.MatchL3})
+	}
+	for _, e := range p.l2[[2]string{k1, k2}] {
+		if e.k3[2] != k3 {
+			dst = append(dst, MatchCandidate{C: e.c, Level: core.MatchL2})
+		}
+	}
+	for _, e := range p.l1[k1] {
+		if e.k2[1] != k2 {
+			dst = append(dst, MatchCandidate{C: e.c, Level: core.MatchL1})
+		}
+	}
+	return dst
+}
+
+// indexAdd inserts an entry into its three buckets, recording its
+// positions for O(1) swap-removal.
+func (p *Pool) indexAdd(e *entry) {
+	b1 := p.l1[e.k1]
+	e.bi[0] = len(b1)
+	p.l1[e.k1] = append(b1, e)
+
+	b2 := p.l2[e.k2]
+	e.bi[1] = len(b2)
+	p.l2[e.k2] = append(b2, e)
+
+	b3 := p.l3[e.k3]
+	e.bi[2] = len(b3)
+	p.l3[e.k3] = append(b3, e)
+}
+
+// indexRemove deletes an entry from its three buckets by swapping the
+// bucket's last element into its slot. Bucket-internal order is therefore
+// arbitrary (but deterministic — it depends only on the operation
+// sequence, never on map iteration). Emptied buckets keep their slices so
+// re-adding a recurring image allocates nothing.
+func (p *Pool) indexRemove(e *entry) {
+	b1 := p.l1[e.k1]
+	last := len(b1) - 1
+	if e.bi[0] != last {
+		m := b1[last]
+		b1[e.bi[0]] = m
+		m.bi[0] = e.bi[0]
+	}
+	b1[last] = nil
+	p.l1[e.k1] = b1[:last]
+
+	b2 := p.l2[e.k2]
+	last = len(b2) - 1
+	if e.bi[1] != last {
+		m := b2[last]
+		b2[e.bi[1]] = m
+		m.bi[1] = e.bi[1]
+	}
+	b2[last] = nil
+	p.l2[e.k2] = b2[:last]
+
+	b3 := p.l3[e.k3]
+	last = len(b3) - 1
+	if e.bi[2] != last {
+		m := b3[last]
+		b3[e.bi[2]] = m
+		m.bi[2] = e.bi[2]
+	}
+	b3[last] = nil
+	p.l3[e.k3] = b3[:last]
+}

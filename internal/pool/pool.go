@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mlcr/internal/container"
+	"mlcr/internal/image"
 )
 
 // Evictor decides which idle container to sacrifice when the pool is full,
@@ -64,14 +65,44 @@ const (
 	ReasonOversize = "oversize"
 )
 
+// entry is a pool slot: a node of the intrusive insertion-ordered list
+// plus the container's match-index keys and bucket positions. Entries are
+// recycled through a freelist so steady-state Add/Take/remove cycles do
+// not allocate.
+type entry struct {
+	c          *container.Container
+	prev, next *entry
+
+	k1 string    // L1 level key
+	k2 [2]string // L1+L2 level keys
+	k3 [3]string // L1+L2+L3 level keys
+	bi [3]int    // position within the L1/L2/L3 bucket slices
+}
+
 // Pool is a fix-sized set of idle warm containers.
 type Pool struct {
 	capacityMB float64 // <= 0 means unlimited
 	evictor    Evictor
-	byID       map[int]*container.Container
-	order      []*container.Container // insertion-ordered view for determinism
+	byID       map[int]*entry
+	head, tail *entry // intrusive doubly-linked list in insertion order
+	count      int
+	free       *entry // entry freelist (chained through next)
 	usedMB     float64
 	stats      Stats
+
+	// idle caches the insertion-ordered container view handed out by
+	// Idle(); it is rebuilt lazily after mutations.
+	idle      []*container.Container
+	idleDirty bool
+
+	// Multi-level match index: containers bucketed by their level-key
+	// prefixes, so candidate enumeration touches only containers sharing
+	// at least the OS level with the function instead of the whole pool.
+	// Emptied buckets keep their (zero-length, capacity-retaining) slices
+	// so steady-state churn does not allocate.
+	l1 map[string][]*entry
+	l2 map[[2]string][]*entry
+	l3 map[[3]string][]*entry
 
 	// OnEvict, when non-nil, observes every container the pool kills —
 	// evictions, TTL expiries and rejected keep-warm offers — with one
@@ -86,7 +117,14 @@ func New(capacityMB float64, ev Evictor) *Pool {
 	if ev == nil {
 		panic("pool: nil evictor")
 	}
-	return &Pool{capacityMB: capacityMB, evictor: ev, byID: make(map[int]*container.Container)}
+	return &Pool{
+		capacityMB: capacityMB,
+		evictor:    ev,
+		byID:       make(map[int]*entry),
+		l1:         make(map[string][]*entry),
+		l2:         make(map[[2]string][]*entry),
+		l3:         make(map[[3]string][]*entry),
+	}
 }
 
 // CapacityMB returns the configured capacity (<= 0 means unlimited).
@@ -105,7 +143,7 @@ func (p *Pool) FreeMB() float64 {
 }
 
 // Len returns the number of idle containers in the pool.
-func (p *Pool) Len() int { return len(p.order) }
+func (p *Pool) Len() int { return p.count }
 
 // Stats returns accumulated pool statistics.
 func (p *Pool) Stats() Stats { return p.stats }
@@ -114,11 +152,26 @@ func (p *Pool) Stats() Stats { return p.stats }
 func (p *Pool) Evictor() Evictor { return p.evictor }
 
 // Idle returns the idle containers in deterministic (insertion) order.
-// The returned slice is shared; callers must not mutate it.
-func (p *Pool) Idle() []*container.Container { return p.order }
+// The returned slice is shared and only valid until the next pool
+// mutation; callers must not mutate or retain it.
+func (p *Pool) Idle() []*container.Container {
+	if p.idleDirty {
+		p.idle = p.idle[:0]
+		for e := p.head; e != nil; e = e.next {
+			p.idle = append(p.idle, e.c)
+		}
+		p.idleDirty = false
+	}
+	return p.idle
+}
 
 // Get returns the pooled container with the given ID, or nil.
-func (p *Pool) Get(id int) *container.Container { return p.byID[id] }
+func (p *Pool) Get(id int) *container.Container {
+	if e, ok := p.byID[id]; ok {
+		return e.c
+	}
+	return nil
+}
 
 // Expire removes idle containers whose idle time exceeds the evictor's
 // TTL — the per-container TTL when the evictor implements
@@ -131,14 +184,18 @@ func (p *Pool) Expire(now time.Duration) []*container.Container {
 	if globalTTL <= 0 && !adaptive {
 		return nil
 	}
+	// Walk the intrusive list directly (no per-call snapshot copy),
+	// capturing each successor before a removal unlinks the entry.
 	var out []*container.Container
-	for _, c := range append([]*container.Container(nil), p.order...) {
+	for e := p.head; e != nil; {
+		next := e.next
+		c := e.c
 		ttl := globalTTL
 		if adaptive {
 			ttl = perC.TTLFor(c)
 		}
 		if ttl > 0 && c.IdleFor(now) > ttl {
-			p.remove(c)
+			p.remove(e)
 			c.Kill()
 			p.evictor.OnEvict(c)
 			p.stats.Expirations++
@@ -147,6 +204,7 @@ func (p *Pool) Expire(now time.Duration) []*container.Container {
 			}
 			out = append(out, c)
 		}
+		e = next
 	}
 	return out
 }
@@ -180,7 +238,7 @@ func (p *Pool) Add(c *container.Container, startupCost time.Duration, now time.D
 			}
 			return false
 		}
-		victim := p.evictor.Victim(p.order, now)
+		victim := p.evictor.Victim(p.Idle(), now)
 		if victim == nil {
 			c.Kill()
 			p.stats.Rejections++
@@ -189,7 +247,7 @@ func (p *Pool) Add(c *container.Container, startupCost time.Duration, now time.D
 			}
 			return false
 		}
-		p.remove(victim)
+		p.remove(p.byID[victim.ID])
 		victim.Kill()
 		p.evictor.OnEvict(victim)
 		p.stats.Evictions++
@@ -197,8 +255,12 @@ func (p *Pool) Add(c *container.Container, startupCost time.Duration, now time.D
 			p.OnEvict(victim, ReasonCapacity, now)
 		}
 	}
-	p.byID[c.ID] = c
-	p.order = append(p.order, c)
+	e := p.newEntry(c)
+	p.byID[c.ID] = e
+	p.listPushBack(e)
+	p.indexAdd(e)
+	p.count++
+	p.idleDirty = true
 	p.usedMB += c.MemoryMB
 	p.stats.Adds++
 	if p.usedMB > p.stats.PeakUsedMB {
@@ -211,27 +273,79 @@ func (p *Pool) Add(c *container.Container, startupCost time.Duration, now time.D
 // Take claims an idle container for reuse, removing it from the pool.
 // It panics if the container is not pooled (a scheduler bug).
 func (p *Pool) Take(id int, now time.Duration) *container.Container {
-	c, ok := p.byID[id]
+	e, ok := p.byID[id]
 	if !ok {
 		panic(fmt.Sprintf("pool: Take of unpooled container %d", id))
 	}
-	p.remove(c)
+	c := e.c
+	p.remove(e)
 	p.evictor.OnUse(c, now)
 	return c
 }
 
-func (p *Pool) remove(c *container.Container) {
+// remove unlinks an entry from the map, the insertion-order list and the
+// match index, and recycles it onto the freelist. O(1).
+func (p *Pool) remove(e *entry) {
+	c := e.c
 	delete(p.byID, c.ID)
-	for i, o := range p.order {
-		if o == c {
-			p.order = append(p.order[:i], p.order[i+1:]...)
-			break
-		}
-	}
+	p.listRemove(e)
+	p.indexRemove(e)
+	p.count--
+	p.idleDirty = true
 	p.usedMB -= c.MemoryMB
 	if p.usedMB < 1e-9 {
 		p.usedMB = 0
 	}
+	p.freeEntry(e)
+}
+
+// newEntry pops the freelist or allocates, and fills the index keys.
+func (p *Pool) newEntry(c *container.Container) *entry {
+	e := p.free
+	if e != nil {
+		p.free = e.next
+		*e = entry{}
+	} else {
+		e = &entry{}
+	}
+	e.c = c
+	e.k1 = c.Image.LevelKey(image.OS)
+	e.k2 = [2]string{e.k1, c.Image.LevelKey(image.Language)}
+	e.k3 = [3]string{e.k1, e.k2[1], c.Image.LevelKey(image.Runtime)}
+	return e
+}
+
+// freeEntry clears an entry (dropping its container and key references)
+// and pushes it onto the freelist.
+func (p *Pool) freeEntry(e *entry) {
+	*e = entry{}
+	e.next = p.free
+	p.free = e
+}
+
+func (p *Pool) listPushBack(e *entry) {
+	e.prev = p.tail
+	e.next = nil
+	if p.tail != nil {
+		p.tail.next = e
+	} else {
+		p.head = e
+	}
+	p.tail = e
+}
+
+func (p *Pool) listRemove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		p.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		p.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
 }
 
 // --- LRU ---

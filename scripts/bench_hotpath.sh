@@ -1,0 +1,80 @@
+#!/bin/sh
+# bench_hotpath.sh — regenerate BENCH_hotpath.json, the before/after
+# record of the allocation-free hot path (DESIGN.md §8).
+#
+# "After" numbers come from the working tree. "Before" numbers are
+# re-measured on the same machine when BASELINE points at a checkout of
+# the pre-optimization tree (e.g. `git worktree add /tmp/base <rev>`;
+# BASELINE=/tmp/base sh scripts/bench_hotpath.sh); otherwise the
+# committed before numbers in BENCH_hotpath.json are preserved.
+#
+# Usage: sh scripts/bench_hotpath.sh   (or `make bench-hotpath`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHES='BenchmarkQNetworkForward|BenchmarkInferenceLatency|BenchmarkDQNTrainStep|BenchmarkPoolAddTake|BenchmarkFeaturize'
+OUT=BENCH_hotpath.json
+
+run_benches() {
+    (cd "$1" && go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 2s -count 1 .)
+}
+
+# bench_json <raw-output> — emit `"Name": {ns_op, allocs_op, b_op},` lines.
+bench_json() {
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            ns = ""; allocs = ""; bytes = ""
+            for (i = 2; i <= NF; i++) {
+                if ($(i) == "ns/op") ns = $(i-1)
+                if ($(i) == "allocs/op") allocs = $(i-1)
+                if ($(i) == "B/op") bytes = $(i-1)
+            }
+            printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},\n", name, ns, bytes, allocs
+        }
+    ' "$1" | sed '$ s/,$//'
+}
+
+echo "== after (working tree) =="
+run_benches . | tee /tmp/bench_hotpath_after.txt
+
+if [ -n "${BASELINE:-}" ]; then
+    echo "== before (${BASELINE}) =="
+    run_benches "$BASELINE" | tee /tmp/bench_hotpath_before.txt
+    {
+        echo '{'
+        printf '  "note": "hot-path micro-benchmarks, go test -benchmem -benchtime 2s; before = pre-optimization tree, after = this tree, same machine; the decision path (featurize + Q-network inference) is allocation-free in steady state",\n'
+        printf '  "generated_by": "scripts/bench_hotpath.sh",\n'
+        echo '  "before": {'
+        bench_json /tmp/bench_hotpath_before.txt
+        echo '  },'
+        echo '  "after": {'
+        bench_json /tmp/bench_hotpath_after.txt
+        echo '  },'
+        echo '  "speedup": {'
+        for f in before after; do
+            grep '^Benchmark' /tmp/bench_hotpath_$f.txt |
+                awk '{name=$1; sub(/-[0-9]+$/,"",name); print name, $3}' |
+                sort > /tmp/bench_hotpath_$f.ns
+        done
+        join /tmp/bench_hotpath_before.ns /tmp/bench_hotpath_after.ns |
+            awk '{printf "    \"%s\": %.2f,\n", $1, $2/$3}' | sed '$ s/,$//'
+        echo '  }'
+        echo '}'
+    } > "$OUT"
+    echo "wrote $OUT (before + after)"
+else
+    echo "BASELINE not set: keeping committed before numbers; see header comment."
+    {
+        echo '  "after": {'
+        bench_json /tmp/bench_hotpath_after.txt
+        echo '  }'
+        echo '}'
+    } > /tmp/bench_hotpath_after.json
+    # Splice the fresh after block into the existing file.
+    awk '/^  "after": \{/{exit} {print}' "$OUT" > /tmp/bench_hotpath_head.txt
+    cat /tmp/bench_hotpath_head.txt /tmp/bench_hotpath_after.json > "$OUT"
+    echo "wrote $OUT (fresh after, committed before)"
+fi
