@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: build test check check-full bench bench-hotpath
+.PHONY: build test vet check check-full bench bench-hotpath
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Static analysis: the standard go vet plus mlcr-vet, the project's own
+# analyzers enforcing the determinism and hot-path contracts
+# (DESIGN.md §9). Also part of make check via scripts/check.sh.
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mlcr-vet ./...
 
 # Pre-merge gate: gofmt, vet, and race-enabled tests of every package
 # (-short skips the long DQN training experiments; the parallel harness,

@@ -1,0 +1,58 @@
+package lint
+
+import "go/ast"
+
+// DetRand enforces the seeded-RNG contract: deterministic packages
+// draw randomness only from an injected, explicitly seeded *rand.Rand
+// (DESIGN.md: "experiments are reproducible bit-for-bit"). The
+// package-level math/rand functions share a process-global generator
+// whose stream depends on every other caller in the process — one
+// call from a parallel worker destroys replayability.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "no package-level math/rand generator calls in deterministic packages; inject a seeded *rand.Rand",
+	Run:  runDetRand,
+}
+
+// detrandBanned lists the top-level math/rand (and math/rand/v2)
+// functions that use the shared global generator. Constructors
+// (New, NewSource, NewZipf, NewPCG, NewChaCha8) and type names stay
+// allowed — they are how the injected RNGs get built.
+var detrandBanned = map[string]map[string]bool{
+	"math/rand": {
+		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "NormFloat64": true,
+		"ExpFloat64": true, "Perm": true, "Shuffle": true,
+		"Seed": true, "Read": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+		"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+		"Float32": true, "Float64": true, "NormFloat64": true,
+		"ExpFloat64": true, "Perm": true, "Shuffle": true, "N": true,
+	},
+}
+
+func runDetRand(p *Pass) {
+	if !IsDeterministic(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			banned, ok := detrandBanned[pkgPathOf(p.Info, sel)]
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"rand.%s uses the process-global generator in deterministic package %s — inject a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+				sel.Sel.Name, p.Path)
+			return true
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck is errcheck-lite: statement-position calls (including go
+// and defer) whose results include an error must not discard it
+// silently anywhere under internal/. Assigning the error to _ is the
+// sanctioned explicit discard — it shows up in review — and a small
+// allowlist covers callees that cannot usefully fail: the fmt print
+// family and the never-erroring strings.Builder / bytes.Buffer
+// writers.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "no silently discarded error returns in internal/ (assign to _ to discard explicitly)",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(p *Pass) {
+	if !isInternal(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = s.Call
+			case *ast.DeferStmt:
+				call = s.Call
+			}
+			if call == nil || !returnsError(p.Info, call) || errAllowlisted(p.Info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"%s returns an error that is silently discarded — handle it or assign to _",
+				calleeLabel(p.Info, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result tuple contains an
+// error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// errAllowlisted exempts callees that cannot usefully fail.
+func errAllowlisted(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	name := obj.Name()
+	if obj.Pkg().Path() == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return true
+	}
+	// Methods on strings.Builder, bytes.Buffer and the hash.Hash
+	// interfaces never return a non-nil error by documented contract.
+	// The static type of the receiver expression decides (not the
+	// method's declared receiver, which for interfaces is the embedded
+	// io interface the method came from).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		rt := info.TypeOf(sel.X)
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			o := named.Obj()
+			if o.Pkg() != nil {
+				switch o.Pkg().Path() + "." + o.Name() {
+				case "strings.Builder", "bytes.Buffer",
+					"hash.Hash", "hash.Hash32", "hash.Hash64":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// calleeLabel renders the callee for the finding message.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

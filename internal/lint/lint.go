@@ -1,0 +1,237 @@
+// Package lint is the repository's project-specific static-analysis
+// framework: a small analyzer runner built on the standard library's
+// go/parser and go/types (the module stays dependency-free), plus the
+// five mlcr-vet analyzers that mechanically enforce the simulator's
+// determinism and hot-path contracts (DESIGN.md §9).
+//
+// An Analyzer inspects one type-checked package at a time through a
+// Pass and reports Findings. Findings can be suppressed — explicitly
+// and auditably — with a directive comment on the offending line or
+// the line directly above it:
+//
+//	//mlcr:allow <analyzer> <reason>
+//
+// A directive with a missing or unknown analyzer name, or no reason,
+// is itself reported as a finding, so suppressions cannot rot
+// silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one project-specific check. Run inspects the package in
+// the Pass and reports findings through it; the framework applies
+// suppression directives and ordering afterwards.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in output and directives
+	Doc  string // one-line contract description
+	Run  func(*Pass)
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // package import path (decides deterministic scope)
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported contract violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical
+// "file:line: analyzer: message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// All returns the full mlcr-vet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Walltime, DetRand, MapRange, MarkUpdated, ErrCheck}
+}
+
+// ByName resolves a comma-separated analyzer list against All,
+// erroring on unknown names.
+func ByName(names string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// allowPrefix introduces a suppression directive comment.
+const allowPrefix = "//mlcr:allow"
+
+// directive is one parsed //mlcr:allow comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectDirectives parses every //mlcr:allow directive in the
+// package. Malformed directives (missing analyzer, unknown analyzer,
+// missing reason) are reported as findings under the "directive"
+// analyzer name so they fail the build instead of silently allowing —
+// or silently not allowing — anything.
+func collectDirectives(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, msg string)) []directive {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //mlcr:allowX token, not ours
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					report(c.Pos(), "directive needs an analyzer name and a reason: //mlcr:allow <analyzer> <reason>")
+				case !known[fields[0]]:
+					report(c.Pos(), fmt.Sprintf("directive names unknown analyzer %q", fields[0]))
+				case len(fields) == 1:
+					report(c.Pos(), fmt.Sprintf("//mlcr:allow %s needs a reason — suppressions must be auditable", fields[0]))
+				default:
+					pos := fset.Position(c.Pos())
+					out = append(out, directive{file: pos.Filename, line: pos.Line, analyzer: fields[0]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Check runs the analyzers over every package, applies //mlcr:allow
+// suppressions, and returns the surviving findings sorted by position
+// together with the number of findings suppressed by directives.
+func Check(pkgs []*Package, analyzers []*Analyzer) (findings []Finding, suppressed int) {
+	for _, pkg := range pkgs {
+		var raw []Finding
+		dirs := collectDirectives(pkg.Fset, pkg.Files, func(pos token.Pos, msg string) {
+			raw = append(raw, Finding{Pos: pkg.Fset.Position(pos), Analyzer: "directive", Message: msg})
+		})
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				findings: &raw,
+			}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if allowedBy(dirs, f) {
+				suppressed++
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, suppressed
+}
+
+// allowedBy reports whether a directive on the finding's line, or the
+// line directly above it, names the finding's analyzer. Directive
+// findings themselves are never suppressible.
+func allowedBy(dirs []directive, f Finding) bool {
+	if f.Analyzer == "directive" {
+		return false
+	}
+	for _, d := range dirs {
+		if d.analyzer == f.Analyzer && d.file == f.Pos.Filename &&
+			(d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPathOf returns the import path of the package a selector selects
+// through (e.g. "time" for time.Now), or "" when sel.X is not a
+// package name.
+func pkgPathOf(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// calleeObj resolves the object a call expression invokes (function,
+// method or builtin), unwrapping parentheses; nil for indirect calls
+// through function values and type conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags the classic nondeterministic-order bug: iterating a
+// Go map while the loop body does something order-sensitive —
+// appending to a slice, accumulating floats, writing output, or
+// calling into another engine package. Go randomizes map iteration
+// order per run, so any such loop produces run-dependent results
+// unless an evident sort follows the loop (the collect-keys-then-sort
+// idiom) or the site carries an //mlcr:allow maprange directive
+// arguing the order provably cannot escape.
+//
+// Order-insensitive bodies — integer counters, min/max tracking,
+// writes keyed by the ranged key itself — pass untouched: integer
+// addition and set insertion are exact and commutative, while float
+// accumulation is not (rounding makes a+b+c ≠ c+a+b bit-wise).
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration with order-dependent effects must sort first (or carry //mlcr:allow maprange)",
+	Run:  runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	if !IsDeterministic(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch s := n.(type) {
+			case *ast.BlockStmt:
+				list = s.List
+			case *ast.CaseClause:
+				list = s.Body
+			case *ast.CommClause:
+				list = s.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapType(p.Info.TypeOf(rs.X)) {
+					continue
+				}
+				why := orderSensitive(p, rs.Body)
+				if why == "" || followedBySort(p, list[i+1:]) {
+					continue
+				}
+				p.Reportf(rs.Pos(),
+					"map iteration order is randomized but this loop %s — collect and sort keys first, or //mlcr:allow maprange with a reason",
+					why)
+			}
+			return true
+		})
+	}
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderSensitive classifies the loop body, returning a short
+// description of the first order-dependent effect found ("" when the
+// body is order-insensitive).
+func orderSensitive(p *Pass, body *ast.BlockStmt) (why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if w := orderSensitiveCall(p, e); w != "" {
+				why = w
+				return false
+			}
+		case *ast.AssignStmt:
+			// Float accumulation: rounding makes the sum order-dependent.
+			if e.Tok.String() == "+=" || e.Tok.String() == "-=" || e.Tok.String() == "*=" {
+				if t := p.Info.TypeOf(e.Lhs[0]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+						why = "accumulates floating-point values (rounding is order-dependent)"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// orderSensitiveCall reports whether one call inside a map-range body
+// has order-dependent effects.
+func orderSensitiveCall(p *Pass, call *ast.CallExpr) string {
+	obj := calleeObj(p.Info, call)
+	if obj == nil {
+		return ""
+	}
+	if b, ok := obj.(*types.Builtin); ok && b.Name() == "append" {
+		return "appends to a slice"
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	name := obj.Name()
+	switch {
+	case pkg.Path() == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+		return "writes output through fmt." + name
+	case strings.HasPrefix(name, "Write"): // io.Writer / strings.Builder style sinks
+		return "writes output through " + name
+	case strings.HasPrefix(pkg.Path(), "mlcr/") && pkg.Path() != p.Path:
+		return "calls into " + pkg.Path() + "." + name + " (engine state mutates in iteration order)"
+	}
+	return ""
+}
+
+// followedBySort reports whether any statement after the loop in the
+// same block evidently sorts — a call into sort or slices, or to a
+// helper whose name starts with "sort"/"Sort" — which is the
+// canonical deterministic-map-iteration idiom.
+func followedBySort(p *Pass, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			obj := calleeObj(p.Info, call)
+			if obj == nil {
+				return true
+			}
+			if pkg := obj.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+				found = true
+				return false
+			}
+			if n := obj.Name(); strings.HasPrefix(n, "sort") || strings.HasPrefix(n, "Sort") {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package lint
+
+import "strings"
+
+// deterministicPkgs names every internal package that is part of the
+// deterministic simulation engine: code whose outputs must be
+// bit-identical run to run and at any -parallel value (the property
+// runner.Fingerprint and the experiments determinism tests verify
+// after the fact, and the walltime/detrand/maprange analyzers enforce
+// at the source level). The only internal package excluded is api —
+// a real HTTP server whose uptime reporting legitimately reads the
+// wall clock.
+var deterministicPkgs = map[string]bool{
+	"cluster":     true,
+	"container":   true,
+	"core":        true,
+	"dockerfile":  true,
+	"drl":         true,
+	"experiments": true,
+	"fstartbench": true,
+	"hub":         true,
+	"image":       true,
+	"metrics":     true,
+	"mlcr":        true,
+	"nn":          true,
+	"obs":         true,
+	"platform":    true,
+	"policy":      true,
+	"pool":        true,
+	"registry":    true,
+	"report":      true,
+	"runner":      true,
+	"sim":         true,
+	"trace":       true,
+	"workload":    true,
+}
+
+const internalPrefix = "mlcr/internal/"
+
+// IsDeterministic reports whether the import path belongs to the
+// deterministic engine. cmd/, examples/ and the repo root are CLI
+// territory (wall-clock progress timing is fine there); internal/api
+// is the one internal package outside the contract.
+func IsDeterministic(path string) bool {
+	if !strings.HasPrefix(path, internalPrefix) {
+		return false
+	}
+	top, _, _ := strings.Cut(path[len(internalPrefix):], "/")
+	return deterministicPkgs[top]
+}
+
+// isInternal reports whether the import path is under mlcr/internal/
+// — the errcheck-lite scope.
+func isInternal(path string) bool {
+	return strings.HasPrefix(path, internalPrefix)
+}

@@ -1,0 +1,27 @@
+// Package badallow carries malformed suppression directives plus one
+// violation whose directive names the wrong analyzer — none of them
+// may suppress anything, and each malformed directive is itself a
+// finding.
+package badallow
+
+import "time"
+
+// Bad shows every way a directive can rot.
+func Bad() time.Duration {
+	//mlcr:allow
+	start := time.Now() // want `time\.Now reads the wall clock`
+
+	//mlcr:allow walltime
+	mid := time.Now() // want `time\.Now reads the wall clock`
+	_ = mid
+
+	//mlcr:allow nosuchanalyzer because typos happen
+	later := time.Now() // want `time\.Now reads the wall clock`
+	_ = later
+
+	//mlcr:allow detrand wrong analyzer for this violation
+	end := time.Now() // want `time\.Now reads the wall clock`
+	_ = end
+
+	return end.Sub(start)
+}

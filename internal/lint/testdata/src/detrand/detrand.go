@@ -1,0 +1,21 @@
+// Package detrand seeds deliberate global-generator violations for
+// the detrand analyzer fixture test.
+package detrand
+
+import "math/rand"
+
+// Bad draws from the process-global generator.
+func Bad(n int) int {
+	v := rand.Intn(n)         // want `rand\.Intn uses the process-global generator`
+	if rand.Float64() < 0.5 { // want `rand\.Float64 uses the process-global generator`
+		v++
+	}
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle uses the process-global generator`
+	return v
+}
+
+// Good builds and uses an injected, explicitly seeded generator.
+func Good(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

@@ -1,0 +1,34 @@
+// Package errcheck seeds deliberate discarded-error violations for
+// the errcheck-lite analyzer fixture test.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func valueAndError() (int, error) { return 0, errors.New("boom") }
+
+// Bad discards errors silently in every statement position.
+func Bad() {
+	mayFail()       // want `mayFail returns an error that is silently discarded`
+	valueAndError() // want `valueAndError returns an error that is silently discarded`
+	go mayFail()    // want `mayFail returns an error that is silently discarded`
+	defer mayFail() // want `mayFail returns an error that is silently discarded`
+}
+
+// Good handles, explicitly discards, or calls never-failing callees.
+func Good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()
+	_, _ = valueAndError()
+	fmt.Println("fmt print family is allowlisted")
+	var b strings.Builder
+	b.WriteString("strings.Builder never fails")
+	return nil
+}

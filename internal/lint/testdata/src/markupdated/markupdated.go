@@ -1,0 +1,47 @@
+// Package markupdated seeds deliberate cached-transpose-invalidation
+// violations for the markupdated analyzer fixture test.
+package markupdated
+
+import "mlcr/internal/nn"
+
+// BadDirectWrite mutates weight storage without invalidating caches.
+func BadDirectWrite(p *nn.Param) {
+	p.W.Data[0] = 1 // want `assignment through \.W`
+}
+
+// BadCopy copies new weights in without invalidating caches.
+func BadCopy(p *nn.Param, fresh []float64) {
+	copy(p.W.Data, fresh) // want `copy into \.W storage`
+}
+
+// BadMethod calls a mutating Tensor method on weight storage.
+func BadMethod(p *nn.Param) {
+	p.W.Fill(0) // want `Tensor\.Fill on \.W`
+}
+
+// BadInto passes weight storage as an *Into destination.
+func BadInto(p *nn.Param, src *nn.Tensor) {
+	nn.CopyInto(p.W, src) // want `CopyInto with \.W destination`
+}
+
+// BadIncrement bumps a weight element in place.
+func BadIncrement(p *nn.Param) {
+	p.W.Data[0]++ // want `increment through \.W`
+}
+
+// GoodPaired performs the same writes but invalidates caches.
+func GoodPaired(p *nn.Param, fresh []float64) {
+	copy(p.W.Data, fresh)
+	p.W.Data[0] = 1
+	p.MarkUpdated()
+}
+
+// GoodGradWrite touches the gradient, which no cache derives from.
+func GoodGradWrite(p *nn.Param) {
+	p.Grad.Data[0] = 1
+}
+
+// GoodRead only reads weight storage.
+func GoodRead(p *nn.Param) float64 {
+	return p.W.Data[0]
+}

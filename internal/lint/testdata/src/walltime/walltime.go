@@ -1,0 +1,34 @@
+// Package walltime seeds deliberate wall-clock violations for the
+// walltime analyzer fixture test. It is loaded as a deterministic
+// package, so every banned time call below must be caught.
+package walltime
+
+import "time"
+
+// Bad reads and waits on the wall clock.
+func Bad() time.Duration {
+	start := time.Now()         // want `time\.Now reads the wall clock`
+	time.Sleep(time.Nanosecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)    // want `time\.Since reads the wall clock`
+}
+
+// BadValue passes a banned function as a value — still a wall-clock
+// dependency.
+func BadValue() func() time.Time {
+	return time.Now // want `time\.Now reads the wall clock`
+}
+
+// BadTimer builds timers.
+func BadTimer() {
+	t := time.NewTimer(time.Millisecond) // want `time\.NewTimer reads the wall clock`
+	<-t.C
+	<-time.After(time.Millisecond) // want `time\.After reads the wall clock`
+}
+
+// Good uses only pure duration values — the virtual-clock currency.
+func Good(d time.Duration) time.Duration {
+	if d < time.Second {
+		return d * 2
+	}
+	return d.Round(time.Millisecond)
+}

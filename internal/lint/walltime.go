@@ -1,0 +1,50 @@
+package lint
+
+import "go/ast"
+
+// Walltime enforces the virtual-clock contract: deterministic
+// packages simulate time (internal/core durations advanced by the
+// discrete-event engine) and must never read or wait on the wall
+// clock — one stray time.Now breaks run-to-run reproducibility in a
+// way no unit test of the offending package will catch.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no wall-clock reads (time.Now, time.Since, timers) in deterministic packages",
+	Run:  runWalltime,
+}
+
+// walltimeBanned lists the time-package functions that observe or
+// wait on the wall clock. Pure-value helpers (time.Duration
+// arithmetic, time.Unix, formatting) remain fine.
+var walltimeBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWalltime(p *Pass) {
+	if !IsDeterministic(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !walltimeBanned[sel.Sel.Name] {
+				return true
+			}
+			if pkgPathOf(p.Info, sel) != "time" {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"time.%s reads the wall clock in deterministic package %s — use the engine's virtual clock (DESIGN.md §9)",
+				sel.Sel.Name, p.Path)
+			return true
+		})
+	}
+}

@@ -56,6 +56,7 @@ func NewMultiHeadAttention(name string, dim, heads int, rng *rand.Rand) *MultiHe
 	std := math.Sqrt(1 / float64(dim))
 	for _, p := range []*Param{m.Wq, m.Wk, m.Wv, m.Wo} {
 		p.W.Randn(rng, std)
+		p.MarkUpdated()
 	}
 	return m
 }

@@ -90,6 +90,7 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 		Bias:   newParam(name+".bias", 1, out),
 	}
 	l.Weight.W.Randn(rng, math.Sqrt(2/float64(in)))
+	l.Weight.MarkUpdated()
 	return l
 }
 
@@ -196,6 +197,7 @@ func NewLayerNorm(name string, dim int) *LayerNorm {
 		Bias: newParam(name+".bias", 1, dim),
 	}
 	ln.Gain.W.Fill(1)
+	ln.Gain.MarkUpdated()
 	return ln
 }
 

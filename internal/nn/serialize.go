@@ -57,6 +57,7 @@ func SaveFile(path string, params []*Param) error {
 	if err != nil {
 		return fmt.Errorf("nn: %w", err)
 	}
+	//mlcr:allow errcheck double-close guard; the explicit Close below surfaces the write error
 	defer f.Close()
 	if err := Save(f, params); err != nil {
 		return err
@@ -70,7 +71,7 @@ func LoadFile(path string, params []*Param) error {
 	if err != nil {
 		return fmt.Errorf("nn: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //mlcr:allow errcheck read-only close; nothing to flush
 	return Load(f, params)
 }
 

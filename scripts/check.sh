@@ -21,6 +21,9 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== mlcr-vet (determinism + hot-path contracts, DESIGN.md §9) =="
+go run ./cmd/mlcr-vet ./...
+
 if [ "${FULL:-}" = "1" ]; then
     echo "== go test -race (all packages, full) =="
     go test -race ./...
