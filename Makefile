@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet check check-full bench bench-hotpath
+.PHONY: build test vet check check-full bench bench-hotpath bench-simcore
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,9 @@ bench:
 # Set BASELINE=/path/to/pre-optimization-checkout to re-measure "before".
 bench-hotpath:
 	sh scripts/bench_hotpath.sh
+
+# Regenerate BENCH_simcore.json (million-invocation simulator-core
+# throughput, DESIGN.md §10). Same BASELINE convention as bench-hotpath;
+# INVOCATIONS overrides the trace size (default 1000000).
+bench-simcore:
+	sh scripts/bench_simcore.sh

@@ -53,7 +53,25 @@ func (m MatchLevel) String() string {
 
 // Match returns the match level between a function's required image and a
 // container's installed image, comparing level-by-level with pruning.
+//
+// Images built by image.NewImage in the same universe compare their
+// interned dense LevelIDs — three integer comparisons, no string
+// traffic. Images without a shared universe (zero-value construction,
+// or deliberately separate universes whose IDs are incomparable) fall
+// back to the canonical key strings, which define equality either way.
 func Match(fn, ct image.Image) MatchLevel {
+	if fu, fids := fn.Interned(); fu != nil {
+		if cu, cids := ct.Interned(); fu == cu {
+			level := NoMatch
+			for i := range fids {
+				if fids[i] != cids[i] {
+					return level // prune: deeper levels cannot be reused
+				}
+				level++
+			}
+			return level
+		}
+	}
 	level := NoMatch
 	for _, l := range image.Levels {
 		if fn.LevelKey(l) != ct.LevelKey(l) {
@@ -91,22 +109,33 @@ type Candidate struct {
 // Rank matches fn against every container image and returns candidates
 // with Level > NoMatch, ordered best-first: deeper match level wins, ties
 // broken by the order given (callers pass containers in a deterministic
-// order, e.g. most-recently-used first).
+// order, e.g. most-recently-used first). It allocates a fresh slice;
+// hot-path callers reuse a caller-owned slice via AppendRank.
 func Rank(fn image.Image, containers []image.Image) []Candidate {
-	var out []Candidate
+	return AppendRank(nil, fn, containers)
+}
+
+// AppendRank appends fn's ranked candidates to dst and returns it,
+// mirroring pool.AppendMatches: passing a reused dst slice (typically
+// dst[:0] of a retained buffer) makes steady-state calls
+// allocation-free. Ordering is exactly Rank's. Only the appended tail
+// is sorted; entries already in dst are left untouched.
+func AppendRank(dst []Candidate, fn image.Image, containers []image.Image) []Candidate {
+	start := len(dst)
 	for i, c := range containers {
 		if lv := Match(fn, c); lv > NoMatch {
-			out = append(out, Candidate{Index: i, Level: lv})
+			dst = append(dst, Candidate{Index: i, Level: lv})
 		}
 	}
 	// Stable insertion sort by descending level; candidate lists are
 	// small (pool-sized) so O(n²) is irrelevant and stability is free.
+	out := dst[start:]
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j].Level > out[j-1].Level; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return out
+	return dst
 }
 
 // Best returns the index of the best-matching container and its level, or

@@ -70,7 +70,12 @@ type Package struct {
 func (p Package) Key() string { return p.Name + "@" + p.Version }
 
 // Image is a container image described by its three package levels.
-// The zero value is an empty image.
+// The zero value is an empty image, but real images must be built with
+// NewImage (or Universe.NewImage): construction normalizes package
+// order, caches the canonical level keys and interns them to dense
+// LevelIDs — zero-value images recompute (and allocate) keys on every
+// comparison. mlcr-vet's newimage analyzer flags zero-value
+// construction in internal/ code.
 type Image struct {
 	// Name is a human-readable identifier (e.g. "fn13-ml-inference").
 	Name string
@@ -78,17 +83,42 @@ type Image struct {
 	// matching (levels are compared as sets) but kept stable for display.
 	Pkgs []Package
 
-	// levelKeys caches the canonical per-level identity strings; level
-	// matching is the simulator's hottest path. Zero-value Images
-	// compute keys on demand.
+	// levelKeys caches the canonical per-level identity strings and
+	// levelIDs their dense interned form in uni; level matching is the
+	// simulator's hottest path. Zero-value Images (uni == nil, keysSet
+	// false) compute keys on demand.
 	levelKeys [3]string
+	levelIDs  [3]LevelID
+	uni       *Universe
 	keysSet   bool
+
+	// levelOff marks the level boundaries in the sorted Pkgs slice:
+	// level l occupies Pkgs[levelOff[l-1]:levelOff[l]]. Lets AtLevel
+	// return a shared subslice instead of allocating per call.
+	levelOff [4]int
+
+	// Per-level cost sums, cached because startup estimation reads
+	// them on every scheduling decision and completion.
+	levelPull    [3]time.Duration
+	levelInstall [3]time.Duration
+	levelSize    [3]float64
+
+	// keySet caches the distinct package keys across all levels, sorted,
+	// for merge-based set operations (Jaccard).
+	keySet []string
 }
 
-// NewImage builds an image and normalizes package order (by level, then
-// key) so that images constructed from differently-ordered slices compare
-// equal.
+// NewImage builds an image in the default universe and normalizes
+// package order (by level, then key) so that images constructed from
+// differently-ordered slices compare equal.
 func NewImage(name string, pkgs ...Package) Image {
+	return DefaultUniverse.NewImage(name, pkgs...)
+}
+
+// newNormalized is the shared construction path: it copies and sorts
+// the packages, caches the canonical level keys and the sorted distinct
+// key set. Interning is the caller's (the universe's) job.
+func newNormalized(name string, pkgs []Package) Image {
 	cp := make([]Package, len(pkgs))
 	copy(cp, pkgs)
 	sort.Slice(cp, func(i, j int) bool {
@@ -99,14 +129,47 @@ func NewImage(name string, pkgs ...Package) Image {
 	})
 	im := Image{Name: name, Pkgs: cp}
 	for i, l := range Levels {
+		for im.levelOff[i] < len(cp) && cp[im.levelOff[i]].Level < l {
+			im.levelOff[i]++
+		}
+		im.levelOff[i+1] = im.levelOff[i]
+		for im.levelOff[i+1] < len(cp) && cp[im.levelOff[i+1]].Level == l {
+			im.levelOff[i+1]++
+		}
+	}
+	for i, l := range Levels {
 		im.levelKeys[i] = im.computeLevelKey(l)
 	}
+	for _, p := range cp {
+		if p.Level >= OS && p.Level <= Runtime {
+			im.levelPull[p.Level-1] += p.Pull
+			im.levelInstall[p.Level-1] += p.Install
+			im.levelSize[p.Level-1] += p.SizeMB
+		}
+	}
 	im.keysSet = true
+	keys := make([]string, len(cp))
+	for i, p := range cp {
+		keys[i] = p.Key()
+	}
+	sort.Strings(keys)
+	im.keySet = keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			im.keySet = append(im.keySet, k)
+		}
+	}
 	return im
 }
 
-// AtLevel returns the packages of one level, in normalized order.
+// AtLevel returns the packages of one level, in normalized order. For
+// NewImage-built images this is a subslice of Pkgs (no allocation —
+// container repacking calls it on every reuse); callers must not
+// mutate it. Zero-value images fall back to a filtering copy.
 func (im Image) AtLevel(l Level) []Package {
+	if im.keysSet && l >= OS && l <= Runtime {
+		return im.Pkgs[im.levelOff[l-1]:im.levelOff[l]]
+	}
 	var out []Package
 	for _, p := range im.Pkgs {
 		if p.Level == l {
@@ -136,6 +199,9 @@ func (im Image) computeLevelKey(l Level) string {
 
 // LevelSizeMB returns the total package size of one level.
 func (im Image) LevelSizeMB(l Level) float64 {
+	if im.keysSet && l >= OS && l <= Runtime {
+		return im.levelSize[l-1]
+	}
 	var s float64
 	for _, p := range im.Pkgs {
 		if p.Level == l {
@@ -157,6 +223,9 @@ func (im Image) SizeMB() float64 {
 // PullTime returns the total time to pull every package at the given
 // level from the registry.
 func (im Image) PullTime(l Level) time.Duration {
+	if im.keysSet && l >= OS && l <= Runtime {
+		return im.levelPull[l-1]
+	}
 	var d time.Duration
 	for _, p := range im.Pkgs {
 		if p.Level == l {
@@ -169,6 +238,9 @@ func (im Image) PullTime(l Level) time.Duration {
 // InstallTime returns the total time to install every package at the
 // given level.
 func (im Image) InstallTime(l Level) time.Duration {
+	if im.keysSet && l >= OS && l <= Runtime {
+		return im.levelInstall[l-1]
+	}
 	var d time.Duration
 	for _, p := range im.Pkgs {
 		if p.Level == l {
@@ -190,7 +262,39 @@ func (im Image) PackageSet() map[string]bool {
 // Jaccard computes the Jaccard similarity coefficient |A∩B|/|A∪B| between
 // the package sets of two images (Section V, Metric 1). Two empty images
 // have similarity 1.
+//
+// For NewImage-built images the sets are intersected by merging the
+// cached sorted key slices — no per-pair map allocation, which matters
+// because workload labeling evaluates O(n²) pairs. Zero-value images
+// fall back to the map-based computation.
 func Jaccard(a, b Image) float64 {
+	if !a.keysSet || !b.keysSet {
+		return jaccardMaps(a, b)
+	}
+	ka, kb := a.keySet, b.keySet
+	if len(ka) == 0 && len(kb) == 0 {
+		return 1
+	}
+	inter := 0
+	for i, j := 0, 0; i < len(ka) && j < len(kb); {
+		switch {
+		case ka[i] == kb[j]:
+			inter++
+			i++
+			j++
+		case ka[i] < kb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(ka) + len(kb) - inter
+	return float64(inter) / float64(union)
+}
+
+// jaccardMaps is the allocating fallback for images that skipped
+// NewImage normalization (their package order is unknown).
+func jaccardMaps(a, b Image) float64 {
 	sa, sb := a.PackageSet(), b.PackageSet()
 	if len(sa) == 0 && len(sb) == 0 {
 		return 1

@@ -1,0 +1,167 @@
+package image
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInternDenseInsertionOrdered pins the two structural invariants of
+// the symbol table: the i-th distinct key interned receives ID i, and
+// re-interning returns the original ID.
+func TestInternDenseInsertionOrdered(t *testing.T) {
+	u := NewUniverse()
+	keys := []string{"alpine@3.18", "python@3.9", "", "torch@2.1"}
+	for i, k := range keys {
+		if got := u.Intern(k); got != LevelID(i) {
+			t.Fatalf("Intern(%q) = %d, want %d (dense insertion order)", k, got, i)
+		}
+	}
+	for i, k := range keys {
+		if got := u.Intern(k); got != LevelID(i) {
+			t.Fatalf("re-Intern(%q) = %d, want stable %d", k, got, i)
+		}
+		if got := u.Key(LevelID(i)); got != k {
+			t.Fatalf("Key(%d) = %q, want %q", i, got, k)
+		}
+	}
+	if got := u.Len(); got != len(keys) {
+		t.Fatalf("Len = %d, want %d", got, len(keys))
+	}
+}
+
+func TestUniverseKeyPanicsOnForeignID(t *testing.T) {
+	u := NewUniverse()
+	u.Intern("only")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Key on an un-issued ID did not panic")
+		}
+	}()
+	u.Key(LevelID(7))
+}
+
+// TestInternedIDsMatchKeyEquality is the soundness property interning
+// rests on: within one universe, equal IDs ⇔ equal level-key strings.
+func TestInternedIDsMatchKeyEquality(t *testing.T) {
+	u := NewUniverse()
+	imgs := []Image{
+		u.NewImage("a", pkg("alpine", "3.18", OS, 5), pkg("python", "3.9", Language, 50)),
+		u.NewImage("b", pkg("python", "3.9", Language, 50), pkg("alpine", "3.18", OS, 5)),
+		u.NewImage("c", pkg("debian", "11", OS, 50), pkg("python", "3.9", Language, 50)),
+		u.NewImage("d"),
+	}
+	for _, a := range imgs {
+		for _, b := range imgs {
+			_, aids := a.Interned()
+			_, bids := b.Interned()
+			for i, l := range Levels {
+				wantEq := a.LevelKey(l) == b.LevelKey(l)
+				if gotEq := aids[i] == bids[i]; gotEq != wantEq {
+					t.Fatalf("%s/%s level %v: ID equality %v, key equality %v",
+						a.Name, b.Name, l, gotEq, wantEq)
+				}
+			}
+		}
+	}
+}
+
+// TestLevelIDsZeroValueFallback: zero-value images (not built via
+// NewImage) intern on demand into the default universe and must agree
+// with a NewImage-built equivalent.
+func TestLevelIDsZeroValueFallback(t *testing.T) {
+	raw := Image{Name: "raw", Pkgs: []Package{pkg("alpine", "3.18", OS, 5)}}
+	built := NewImage("built", pkg("alpine", "3.18", OS, 5))
+	if uni, _ := raw.Interned(); uni != nil {
+		t.Fatal("zero-value image reports a universe")
+	}
+	if raw.LevelIDs() != built.LevelIDs() {
+		t.Fatalf("LevelIDs %v != %v for equal package sets", raw.LevelIDs(), built.LevelIDs())
+	}
+}
+
+// TestLevelIDsForeignUniversePanics: IDs from different universes are
+// incomparable, so asking for default-universe IDs of a foreign-universe
+// image is a bug the accessor must refuse.
+func TestLevelIDsForeignUniversePanics(t *testing.T) {
+	u := NewUniverse()
+	im := u.NewImage("foreign", pkg("alpine", "3.18", OS, 5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LevelIDs on a non-default-universe image did not panic")
+		}
+	}()
+	im.LevelIDs()
+}
+
+// TestInternConcurrent exercises the mutex path: concurrent interning of
+// overlapping key sets must stay consistent (each key one ID, Key
+// round-trips), even though ID assignment order is scheduling-dependent.
+func TestInternConcurrent(t *testing.T) {
+	u := NewUniverse()
+	const goroutines, perG = 8, 100
+	var wg sync.WaitGroup
+	ids := make([][]LevelID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]LevelID, perG)
+			for i := 0; i < perG; i++ {
+				ids[g][i] = u.Intern(fmt.Sprintf("key-%d", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := u.Len(); got != perG {
+		t.Fatalf("Len = %d, want %d distinct keys", got, perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d got ID %d for key-%d, goroutine 0 got %d",
+					g, ids[g][i], i, ids[0][i])
+			}
+			if got := u.Key(ids[g][i]); got != fmt.Sprintf("key-%d", i) {
+				t.Fatalf("Key(%d) = %q, want key-%d", ids[g][i], got, i)
+			}
+		}
+	}
+}
+
+// TestJaccardMergeMatchesMaps: the merge-intersection fast path over
+// cached sorted key sets must agree exactly with the map-based fallback
+// for every pair, including images whose packages collide across levels.
+func TestJaccardMergeMatchesMaps(t *testing.T) {
+	imgs := []Image{
+		NewImage("a", pkg("alpine", "3.18", OS, 5), pkg("python", "3.9", Language, 50)),
+		NewImage("b", pkg("alpine", "3.18", OS, 5), pkg("node", "18", Language, 40)),
+		// Same key at two levels: the key set collapses it to one entry.
+		NewImage("c", pkg("libssl", "3", OS, 2), pkg("libssl", "3", Runtime, 2)),
+		NewImage("d"),
+		NewImage("e", pkg("zlib", "1.3", Runtime, 1), pkg("alpine", "3.18", OS, 5), pkg("libssl", "3", OS, 2)),
+	}
+	for _, a := range imgs {
+		for _, b := range imgs {
+			if got, want := Jaccard(a, b), jaccardMaps(a, b); got != want {
+				t.Fatalf("Jaccard(%s,%s) merge=%v maps=%v", a.Name, b.Name, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkJaccardPair measures the per-pair cost of the merge path;
+// the previous map-based implementation allocated two maps per pair.
+func BenchmarkJaccardPair(b *testing.B) {
+	var ps []Package
+	for i := 0; i < 40; i++ {
+		ps = append(ps, pkg(fmt.Sprintf("p%d", i), "1", Level(i%3+1), 1))
+	}
+	a := NewImage("a", ps...)
+	c := NewImage("c", ps[:30]...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Jaccard(a, c)
+	}
+}

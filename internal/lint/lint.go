@@ -1,7 +1,7 @@
 // Package lint is the repository's project-specific static-analysis
 // framework: a small analyzer runner built on the standard library's
 // go/parser and go/types (the module stays dependency-free), plus the
-// five mlcr-vet analyzers that mechanically enforce the simulator's
+// six mlcr-vet analyzers that mechanically enforce the simulator's
 // determinism and hot-path contracts (DESIGN.md §9).
 //
 // An Analyzer inspects one type-checked package at a time through a
@@ -70,7 +70,7 @@ func (f Finding) String() string {
 
 // All returns the full mlcr-vet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, DetRand, MapRange, MarkUpdated, ErrCheck}
+	return []*Analyzer{Walltime, DetRand, MapRange, MarkUpdated, ErrCheck, NewImage}
 }
 
 // ByName resolves a comma-separated analyzer list against All,

@@ -129,6 +129,27 @@ func TestErrCheckFixture(t *testing.T) {
 	noDirectives(t, d)
 }
 
+func TestNewImageFixture(t *testing.T) {
+	d, _ := checkFixture(t, "newimage", "mlcr/internal/cluster", []*lint.Analyzer{lint.NewImage})
+	noDirectives(t, d)
+}
+
+// TestNewImageScope: the analyzer covers all of internal/ except the
+// image package itself (the construction path), and nothing outside
+// internal/.
+func TestNewImageScope(t *testing.T) {
+	for _, as := range []string{"mlcr/internal/image", "mlcr/cmd/mlcr-sim", "mlcr/examples/demo"} {
+		pkg, err := lint.LoadFixture(moduleRoot(t), fixtureDir("newimage"), as)
+		if err != nil {
+			t.Fatalf("loading fixture as %s: %v", as, err)
+		}
+		findings, _ := lint.Check([]*lint.Package{pkg}, []*lint.Analyzer{lint.NewImage})
+		for _, f := range findings {
+			t.Errorf("as %s: unexpected finding %s", as, f)
+		}
+	}
+}
+
 // TestOutOfScopeIgnored reruns the walltime fixture under import
 // paths outside the deterministic set: nothing may be reported even
 // though the files are riddled with time.Now.
@@ -148,12 +169,12 @@ func TestOutOfScopeIgnored(t *testing.T) {
 // TestAllowSuppresses is the suppression fixture: one violation per
 // analyzer, each carrying an //mlcr:allow directive (trailing and
 // line-above placements both appear), so zero findings survive and
-// exactly five were suppressed.
+// exactly six were suppressed.
 func TestAllowSuppresses(t *testing.T) {
 	d, suppressed := checkFixture(t, "allowed", "mlcr/internal/nn", lint.All())
 	noDirectives(t, d)
-	if suppressed != 5 {
-		t.Errorf("suppressed = %d, want 5", suppressed)
+	if suppressed != 6 {
+		t.Errorf("suppressed = %d, want 6", suppressed)
 	}
 }
 

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewImage enforces the canonical image construction path: internal
+// code must build image.Image values through image.NewImage (or
+// Universe.NewImage), never as zero-value composite literals or via
+// new(image.Image). Construction is where packages are normalized,
+// level keys cached and LevelIDs interned; a literal Image skips all
+// three, so every comparison involving it recomputes (and allocates)
+// its keys and silently drops off the interned integer fast path —
+// correct but hot-path-hostile, exactly the kind of regression no
+// unit test catches.
+//
+// internal/image itself is exempt (it is the construction path), as
+// are test files (the loader only analyzes GoFiles).
+var NewImage = &Analyzer{
+	Name: "newimage",
+	Doc:  "image.Image values in internal/ must be built with image.NewImage, not composite literals or new()",
+	Run:  runNewImage,
+}
+
+// imagePkgPath is the package whose Image type the analyzer guards.
+const imagePkgPath = "mlcr/internal/image"
+
+func runNewImage(p *Pass) {
+	if !isInternal(p.Path) || p.Path == imagePkgPath {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CompositeLit:
+				if isImageType(p.Info.TypeOf(e)) {
+					p.Reportf(e.Pos(),
+						"image.Image composite literal skips NewImage normalization and LevelID interning — build images with image.NewImage (DESIGN.md §10)")
+				}
+			case *ast.CallExpr:
+				if b, ok := calleeObj(p.Info, e).(*types.Builtin); ok && b.Name() == "new" &&
+					len(e.Args) == 1 && isImageType(p.Info.TypeOf(e.Args[0])) {
+					p.Reportf(e.Pos(),
+						"new(image.Image) skips NewImage normalization and LevelID interning — build images with image.NewImage (DESIGN.md §10)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isImageType reports whether t is exactly the named type
+// mlcr/internal/image.Image.
+func isImageType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Image" && obj.Pkg() != nil && obj.Pkg().Path() == imagePkgPath
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mlcr/internal/image"
 	"mlcr/internal/nn"
 )
 
@@ -30,6 +31,9 @@ func Suppressed(p *nn.Param, m map[string]int) []string {
 	}
 
 	p.W.Data[0] = 1 //mlcr:allow markupdated fixture: caller invalidates
+
+	im := image.Image{Name: "raw"} //mlcr:allow newimage fixture: deliberate zero-value image
+	_ = im
 
 	mayFail() //mlcr:allow errcheck fixture: error intentionally dropped
 	return keys

@@ -1,0 +1,54 @@
+// Package newimage seeds deliberate zero-value image.Image
+// construction for the newimage analyzer fixture test.
+package newimage
+
+import (
+	"mlcr/internal/image"
+)
+
+// BadLiteral builds an image as a composite literal, skipping
+// normalization and interning.
+func BadLiteral() image.Image {
+	return image.Image{Name: "raw"} // want `composite literal skips NewImage`
+}
+
+// BadLiteralWithPkgs is still a violation even when it looks complete.
+func BadLiteralWithPkgs(ps []image.Package) image.Image {
+	im := image.Image{Name: "raw", Pkgs: ps} // want `composite literal skips NewImage`
+	return im
+}
+
+// BadImplicitElems hides the literals inside a slice literal; the
+// element literals are still Image composite literals.
+func BadImplicitElems() []image.Image {
+	return []image.Image{
+		{Name: "a"}, // want `composite literal skips NewImage`
+		{Name: "b"}, // want `composite literal skips NewImage`
+	}
+}
+
+// BadNew allocates a zero-value image on the heap.
+func BadNew() *image.Image {
+	return new(image.Image) // want `new\(image.Image\) skips NewImage`
+}
+
+// GoodNewImage is the canonical path.
+func GoodNewImage(ps []image.Package) image.Image {
+	return image.NewImage("good", ps...)
+}
+
+// GoodUniverse builds in an explicit universe — also canonical.
+func GoodUniverse(u *image.Universe, ps []image.Package) image.Image {
+	return u.NewImage("good", ps...)
+}
+
+// GoodSliceOfBuilt: a slice literal of already-built images is not a
+// construction site.
+func GoodSliceOfBuilt(a, b image.Image) []image.Image {
+	return []image.Image{a, b}
+}
+
+// GoodOtherLiteral: literals of other image-package types stay legal.
+func GoodOtherLiteral() image.Package {
+	return image.Package{Name: "alpine", Version: "3.18", Level: image.OS}
+}

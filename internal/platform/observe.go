@@ -8,6 +8,7 @@ import (
 	"mlcr/internal/core"
 	"mlcr/internal/obs"
 	"mlcr/internal/pool"
+	"mlcr/internal/sim"
 	"mlcr/internal/workload"
 )
 
@@ -73,7 +74,17 @@ func (p *Platform) wireObservability() {
 		p.pm = newPlatformMetrics(o.Metrics)
 	}
 	if o.Tracing() {
-		p.engine.OnEvent = func(at time.Duration, name string) {
+		// Typed events carry no name; the trace label is formatted here,
+		// only when a tracer is attached, from the event's payload. The
+		// hook runs before the handler, so a finish event's slot record
+		// is still populated when its name is built.
+		p.engine.OnEvent = func(at sim.Time, kind sim.EventKind, arg int64, name string) {
+			switch kind {
+			case p.kindArrival:
+				name = "arrival/" + strconv.Itoa(p.runInvs[arg].Seq)
+			case p.kindFinish:
+				name = "finish/c" + strconv.Itoa(p.finishing[arg].c.ID)
+			}
 			o.Emit(obs.Event{Kind: obs.KindEventFired, At: at, Seq: -1, Fn: -1, Detail: name})
 		}
 	}

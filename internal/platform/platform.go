@@ -10,7 +10,6 @@ package platform
 
 import (
 	"fmt"
-	"strconv"
 	"time"
 
 	"mlcr/internal/container"
@@ -121,6 +120,15 @@ type RunResult struct {
 	ContainersCreated int
 }
 
+// finishRec is the payload of one in-flight completion event: the busy
+// container and the invocation it serves. Records live in a slot table
+// indexed by the typed event's int64 arg, so completions carry no
+// closure (DESIGN.md §10).
+type finishRec struct {
+	c   *container.Container
+	inv *workload.Invocation
+}
+
 // Platform wires the simulator together for one run.
 type Platform struct {
 	cfg     Config
@@ -130,6 +138,16 @@ type Platform struct {
 	cleaner *container.Cleaner
 	obs     *obs.Observer
 	pm      *platformMetrics
+
+	// Typed-event wiring: arrivals carry an index into runInvs,
+	// completions an index into the finishing slot table. Slots are
+	// recycled through finishFree so steady state allocates nothing.
+	kindArrival sim.EventKind
+	kindFinish  sim.EventKind
+	runInvs     []workload.Invocation
+	arrivalBase int64
+	finishing   []finishRec
+	finishFree  []int32
 
 	nextID    int
 	runningMB float64
@@ -165,6 +183,12 @@ func New(cfg Config, sched Scheduler) *Platform {
 	}
 	p.rate.Alpha = alpha
 	p.res.Policy = sched.Name()
+	p.kindArrival = p.engine.RegisterKind(func(_ *sim.Engine, _ sim.Time, arg int64) {
+		p.handleArrival(int(arg))
+	})
+	p.kindFinish = p.engine.RegisterKind(func(_ *sim.Engine, _ sim.Time, arg int64) {
+		p.handleFinish(int(arg))
+	})
 	p.wireObservability()
 	return p
 }
@@ -184,11 +208,22 @@ func (p *Platform) Run(w workload.Workload) *RunResult {
 	if err := w.Validate(); err != nil {
 		panic(fmt.Sprintf("platform: %v", err))
 	}
-	for i := range w.Invocations {
-		inv := &w.Invocations[i]
-		p.engine.Schedule(inv.Arrival, "arrival/"+strconv.Itoa(inv.Seq), func(*sim.Engine) {
-			p.arrive(inv)
-		})
+	// Arrivals are typed events scheduled lazily: sequence numbers for
+	// all of them are reserved up front — so simultaneous-event ordering
+	// is bit-identical to bulk pre-scheduling — but only one arrival is
+	// queued at a time (each schedules its successor). Validate has
+	// already guaranteed non-decreasing arrival times, which makes the
+	// lazy chain legal, and the queue stays bounded by the number of
+	// in-flight executions instead of the trace length.
+	p.runInvs = w.Invocations
+	// One metrics sample per invocation and at most two pool-series
+	// points (reuse + completion); reserving up front removes the
+	// repeated buffer-doubling copies from trace-scale runs.
+	p.res.Metrics.Reserve(len(w.Invocations))
+	p.res.PoolSeries.Reserve(2 * len(w.Invocations))
+	p.arrivalBase = p.engine.ReserveSeqs(int64(len(w.Invocations)))
+	if len(w.Invocations) > 0 {
+		p.engine.ScheduleKindSeq(w.Invocations[0].Arrival, p.kindArrival, 0, p.arrivalBase)
 	}
 	p.engine.Run()
 	p.res.PoolStats = p.pool.Stats()
@@ -312,10 +347,42 @@ func (p *Platform) arrive(inv *workload.Invocation) Result {
 	p.prevArr = inv.Arrival
 	p.sched.OnResult(env, inv, res)
 
-	p.engine.Schedule(c.BusyUntil, "finish/c"+strconv.Itoa(c.ID), func(*sim.Engine) {
-		p.complete(c, inv)
-	})
+	p.engine.ScheduleKind(c.BusyUntil, p.kindFinish, int64(p.finishSlot(c, inv)))
 	return res
+}
+
+// handleArrival fires invocation i of the current Run: it queues the
+// successor arrival under its pre-reserved sequence number, then
+// processes the invocation.
+func (p *Platform) handleArrival(i int) {
+	if next := i + 1; next < len(p.runInvs) {
+		p.engine.ScheduleKindSeq(p.runInvs[next].Arrival, p.kindArrival,
+			int64(next), p.arrivalBase+int64(next))
+	}
+	p.arrive(&p.runInvs[i])
+}
+
+// finishSlot stores a completion record and returns its slot index, the
+// payload of the finish event. Freed slots are reused LIFO.
+func (p *Platform) finishSlot(c *container.Container, inv *workload.Invocation) int {
+	if n := len(p.finishFree); n > 0 {
+		s := p.finishFree[n-1]
+		p.finishFree = p.finishFree[:n-1]
+		p.finishing[s] = finishRec{c: c, inv: inv}
+		return int(s)
+	}
+	p.finishing = append(p.finishing, finishRec{c: c, inv: inv})
+	return len(p.finishing) - 1
+}
+
+// handleFinish releases the completion slot and returns the container
+// to the pool. The slot is cleared before complete runs so the table
+// never retains finished containers.
+func (p *Platform) handleFinish(slot int) {
+	rec := p.finishing[slot]
+	p.finishing[slot] = finishRec{}
+	p.finishFree = append(p.finishFree, int32(slot))
+	p.complete(rec.c, rec.inv)
 }
 
 // applyCache replaces the static registry pull time with the node-local

@@ -26,20 +26,20 @@ type MatchCandidate struct {
 // the L3 bucket for img's full key holds exactly the full matches, the
 // L2 bucket minus those holds the L2 matches, and the L1 bucket minus
 // both holds the L1 matches — no other container can match at all.
+// Buckets are probed with the image's interned LevelIDs, so the lookups
+// hash and compare dense integers, never key strings.
 func (p *Pool) AppendMatches(dst []MatchCandidate, img image.Image) []MatchCandidate {
-	k1 := img.LevelKey(image.OS)
-	k2 := img.LevelKey(image.Language)
-	k3 := img.LevelKey(image.Runtime)
-	for _, e := range p.l3[[3]string{k1, k2, k3}] {
+	ids := img.LevelIDs()
+	for _, e := range p.l3[ids] {
 		dst = append(dst, MatchCandidate{C: e.c, Level: core.MatchL3})
 	}
-	for _, e := range p.l2[[2]string{k1, k2}] {
-		if e.k3[2] != k3 {
+	for _, e := range p.l2[[2]image.LevelID{ids[0], ids[1]}] {
+		if e.k3[2] != ids[2] {
 			dst = append(dst, MatchCandidate{C: e.c, Level: core.MatchL2})
 		}
 	}
-	for _, e := range p.l1[k1] {
-		if e.k2[1] != k2 {
+	for _, e := range p.l1[ids[0]] {
+		if e.k2[1] != ids[1] {
 			dst = append(dst, MatchCandidate{C: e.c, Level: core.MatchL1})
 		}
 	}

@@ -68,15 +68,17 @@ const (
 // entry is a pool slot: a node of the intrusive insertion-ordered list
 // plus the container's match-index keys and bucket positions. Entries are
 // recycled through a freelist so steady-state Add/Take/remove cycles do
-// not allocate.
+// not allocate. Index keys are interned image.LevelIDs — dense integers
+// from the default universe — so bucket lookup hashes and compares
+// machine words instead of canonical key strings.
 type entry struct {
 	c          *container.Container
 	prev, next *entry
 
-	k1 string    // L1 level key
-	k2 [2]string // L1+L2 level keys
-	k3 [3]string // L1+L2+L3 level keys
-	bi [3]int    // position within the L1/L2/L3 bucket slices
+	k1 image.LevelID    // L1 level-key ID
+	k2 [2]image.LevelID // L1+L2 level-key IDs
+	k3 [3]image.LevelID // L1+L2+L3 level-key IDs
+	bi [3]int           // position within the L1/L2/L3 bucket slices
 }
 
 // Pool is a fix-sized set of idle warm containers.
@@ -98,11 +100,12 @@ type Pool struct {
 	// Multi-level match index: containers bucketed by their level-key
 	// prefixes, so candidate enumeration touches only containers sharing
 	// at least the OS level with the function instead of the whole pool.
+	// Buckets are keyed by interned image.LevelIDs (default universe).
 	// Emptied buckets keep their (zero-length, capacity-retaining) slices
 	// so steady-state churn does not allocate.
-	l1 map[string][]*entry
-	l2 map[[2]string][]*entry
-	l3 map[[3]string][]*entry
+	l1 map[image.LevelID][]*entry
+	l2 map[[2]image.LevelID][]*entry
+	l3 map[[3]image.LevelID][]*entry
 
 	// OnEvict, when non-nil, observes every container the pool kills —
 	// evictions, TTL expiries and rejected keep-warm offers — with one
@@ -121,9 +124,9 @@ func New(capacityMB float64, ev Evictor) *Pool {
 		capacityMB: capacityMB,
 		evictor:    ev,
 		byID:       make(map[int]*entry),
-		l1:         make(map[string][]*entry),
-		l2:         make(map[[2]string][]*entry),
-		l3:         make(map[[3]string][]*entry),
+		l1:         make(map[image.LevelID][]*entry),
+		l2:         make(map[[2]image.LevelID][]*entry),
+		l3:         make(map[[3]image.LevelID][]*entry),
 	}
 }
 
@@ -309,9 +312,10 @@ func (p *Pool) newEntry(c *container.Container) *entry {
 		e = &entry{}
 	}
 	e.c = c
-	e.k1 = c.Image.LevelKey(image.OS)
-	e.k2 = [2]string{e.k1, c.Image.LevelKey(image.Language)}
-	e.k3 = [3]string{e.k1, e.k2[1], c.Image.LevelKey(image.Runtime)}
+	ids := c.Image.LevelIDs()
+	e.k1 = ids[0]
+	e.k2 = [2]image.LevelID{ids[0], ids[1]}
+	e.k3 = ids
 	return e
 }
 

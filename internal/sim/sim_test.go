@@ -84,10 +84,10 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelNilIsFalse(t *testing.T) {
+func TestCancelZeroRefIsFalse(t *testing.T) {
 	e := NewEngine()
-	if e.Cancel(nil) {
-		t.Fatal("Cancel(nil) returned true")
+	if e.Cancel(EventRef{}) {
+		t.Fatal("Cancel of the zero EventRef returned true")
 	}
 }
 

@@ -32,4 +32,7 @@ else
     go test -race -short ./...
 fi
 
+echo "== BenchmarkSimCore smoke (1 invocation) =="
+go test -run '^$' -bench '^BenchmarkSimCore$' -benchtime 1x -count 1 .
+
 echo "check: all green"
