@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"mlcr/internal/experiments"
 	"mlcr/internal/fstartbench"
@@ -148,7 +147,7 @@ func main() {
 	t.AddRow("invocations", m.Count())
 	t.AddRow("total startup latency", m.TotalStartup())
 	t.AddRow("average startup latency", m.AvgStartup())
-	t.AddRow("p99 startup latency", time.Duration(metrics.Percentile(m.Latencies(), 99)*float64(time.Second)))
+	t.AddRow("p99 startup latency", m.StartupQuantile(0.99))
 	t.AddRow("cold starts", m.ColdStarts())
 	lv := m.ByLevel()
 	t.AddRow("warm starts (L1/L2/L3)", fmt.Sprintf("%d/%d/%d", lv[1], lv[2], lv[3]))
@@ -185,7 +184,7 @@ func compareAll(w workload.Workload, loose, poolMB, poolFrac float64, seed int64
 	for i, s := range setups {
 		m := &results[i].Metrics
 		t.AddRow(s.Name, m.TotalStartup(), m.AvgStartup(),
-			time.Duration(metrics.Percentile(m.Latencies(), 99)*float64(time.Second)),
+			m.StartupQuantile(0.99),
 			m.ColdStarts(), results[i].PoolStats.Evictions)
 	}
 	t.Render(os.Stdout)

@@ -10,6 +10,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/platform"
+	"mlcr/internal/policy"
 )
 
 func get(t *testing.T, ts *httptest.Server, path string) (string, []byte) {
@@ -201,4 +205,64 @@ func TestObservabilityConcurrent(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+// TestMetricsPhaseSummaries: the gateway profiles its hot phases on
+// wall time and /metrics exposes them as Prometheus summaries.
+func TestMetricsPhaseSummaries(t *testing.T) {
+	ts := newServer(t)
+	invoke(t, ts, InvokeRequest{FnID: 5, AtMS: 1000})
+	invoke(t, ts, InvokeRequest{FnID: 5, AtMS: 60000})
+
+	_, body := get(t, ts, "/metrics")
+	text := string(body)
+	// The default GreedyMatch scheduler scans Pool.Idle() directly (only
+	// the DRL featurizer goes through the indexed pool_scan path), so the
+	// phases that fire here are schedule (one per invocation) and dispatch
+	// (the second invocation's RunUntil processes the first's finish event).
+	for _, want := range []string{
+		"# TYPE mlcr_phase_seconds summary",
+		`mlcr_phase_seconds{phase="schedule",quantile="0.5"}`,
+		`mlcr_phase_seconds{phase="schedule",quantile="0.999"}`,
+		`mlcr_phase_seconds_count{phase="schedule"} 2`,
+		`mlcr_phase_seconds{phase="dispatch",quantile="0.99"}`,
+		`mlcr_phase_seconds_sum{phase="dispatch"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestStatsMemoryBounded: the gateway keeps no per-invocation samples —
+// the /stats quantiles come from the fixed-footprint HDR, so a
+// long-serving gateway cannot grow an unbounded latency slice.
+func TestStatsMemoryBounded(t *testing.T) {
+	srv, err := New(Config{
+		Functions:      fstartbench.Functions(),
+		PoolCapacityMB: 4096,
+		NewScheduler:   func() platform.Scheduler { return policy.NewGreedyMatch() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	for j := 0; j < 50; j++ {
+		invoke(t, ts, InvokeRequest{FnID: 5, AtMS: int64(1000 * (j + 1))})
+	}
+	if n := len(srv.plat.Results().Metrics.Samples()); n != 0 {
+		t.Fatalf("gateway retained %d samples, want 0 (bounded mode)", n)
+	}
+	if got := srv.plat.Results().Metrics.Count(); got != 50 {
+		t.Fatalf("aggregate count %d, want 50", got)
+	}
+	_, body := get(t, ts, "/stats")
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Invocations != 50 || stats.StartupQuantiles.P50 <= 0 {
+		t.Fatalf("stats broken in bounded mode: %+v", stats)
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"mlcr/internal/obs/perf"
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
 	"mlcr/internal/runner"
@@ -64,6 +65,12 @@ type Config struct {
 	// GOMAXPROCS, 1 forces sequential. Workers share nothing, so the
 	// result is bit-identical at any setting.
 	Parallelism int
+	// Prof, when non-nil, times each front-end routing decision
+	// (perf.PhaseRoute). Routing is sequential, so the caller-owned
+	// profiler needs no synchronization; worker-side phases are
+	// profiled per worker through each platform's own Observer, never
+	// through this one.
+	Prof *perf.Profiler
 }
 
 // Result aggregates a cluster run.
@@ -137,6 +144,7 @@ func route(cfg Config, w workload.Workload) [][]workload.Invocation {
 	parts := make([][]workload.Invocation, cfg.Workers)
 	busyUntil := make([]time.Duration, cfg.Workers)
 	for i, inv := range w.Invocations {
+		sp := cfg.Prof.Start(perf.PhaseRoute)
 		var target int
 		switch cfg.Routing {
 		case RoundRobin:
@@ -161,6 +169,7 @@ func route(cfg Config, w workload.Workload) [][]workload.Invocation {
 		cp := inv
 		cp.Seq = len(parts[target])
 		parts[target] = append(parts[target], cp)
+		sp.End()
 	}
 	return parts
 }

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"time"
 
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/mlcr"
+	"mlcr/internal/obs/perf"
 	"mlcr/internal/platform"
 	"mlcr/internal/report"
 	"mlcr/internal/workload"
@@ -53,20 +53,14 @@ func Overhead(opts Options) OverheadResult {
 			warm++
 		}
 	}
-	out := OverheadResult{Decisions: len(timer.times)}
+	out := OverheadResult{Decisions: int(timer.times.Count())}
 	if warm > 0 {
 		out.MeanSavingWarm = saved / time.Duration(warm)
 	}
-	if len(timer.times) > 0 {
-		var sum time.Duration
-		for _, d := range timer.times {
-			sum += d
-		}
-		out.MeanInference = sum / time.Duration(len(timer.times))
-		sorted := append([]time.Duration(nil), timer.times...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		out.P50Inference = sorted[len(sorted)/2]
-		out.P99Inference = sorted[len(sorted)*99/100]
+	if timer.times.Count() > 0 {
+		out.MeanInference = time.Duration(timer.times.Mean())
+		out.P50Inference = time.Duration(timer.times.Quantile(0.50))
+		out.P99Inference = time.Duration(timer.times.Quantile(0.99))
 	}
 	out.AllocsPerDecision = allocsPerDecision(trained, w, loose)
 	return out
@@ -115,10 +109,12 @@ func (p *probeScheduler) OnResult(env platform.Env, inv *workload.Invocation, re
 	p.inner.OnResult(env, inv, res)
 }
 
-// timingScheduler wraps a scheduler and records wall-clock decision times.
+// timingScheduler wraps a scheduler and records wall-clock decision
+// times into a streaming HDR, so timing a trace-scale replay costs a
+// fixed ~15 KiB instead of one slice slot per decision.
 type timingScheduler struct {
 	inner platform.Scheduler
-	times []time.Duration
+	times perf.HDR
 }
 
 func (t *timingScheduler) Name() string { return t.inner.Name() }
@@ -126,7 +122,7 @@ func (t *timingScheduler) Name() string { return t.inner.Name() }
 func (t *timingScheduler) Schedule(env platform.Env, inv *workload.Invocation) int {
 	start := time.Now() //mlcr:allow walltime the overhead experiment measures real per-decision latency
 	choice := t.inner.Schedule(env, inv)
-	t.times = append(t.times, time.Since(start)) //mlcr:allow walltime real latency measurement, reported not simulated
+	t.times.RecordDuration(time.Since(start)) //mlcr:allow walltime real latency measurement, reported not simulated
 	return choice
 }
 

@@ -109,6 +109,18 @@ func TestWalltimeFixture(t *testing.T) {
 	noDirectives(t, d)
 }
 
+// TestProfClockFixture locks the profiler clock contract: the
+// injected-clock perf pattern is walltime-clean in deterministic
+// packages, a wall-clock-anchored profiler is caught, and a reasoned
+// //mlcr:allow suppresses the one legitimate real-latency profiler.
+func TestProfClockFixture(t *testing.T) {
+	d, suppressed := checkFixture(t, "profclock", "mlcr/internal/obs", []*lint.Analyzer{lint.Walltime})
+	noDirectives(t, d)
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", suppressed)
+	}
+}
+
 func TestDetRandFixture(t *testing.T) {
 	d, _ := checkFixture(t, "detrand", "mlcr/internal/workload", []*lint.Analyzer{lint.DetRand})
 	noDirectives(t, d)
@@ -215,7 +227,10 @@ func TestIsDeterministic(t *testing.T) {
 		"mlcr/internal/hub":         true,
 		"mlcr/internal/fstartbench": true,
 		"mlcr/internal/workload":    true,
+		"mlcr/internal/obs":         true,
+		"mlcr/internal/obs/perf":    true,
 		"mlcr/internal/api":         false,
+		"mlcr/internal/perfbench":   false,
 		"mlcr/cmd/mlcr-sim":         false,
 		"mlcr":                      false,
 		"fmt":                       false,

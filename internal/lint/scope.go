@@ -7,9 +7,12 @@ import "strings"
 // bit-identical run to run and at any -parallel value (the property
 // runner.Fingerprint and the experiments determinism tests verify
 // after the fact, and the walltime/detrand/maprange analyzers enforce
-// at the source level). The only internal package excluded is api —
-// a real HTTP server whose uptime reporting legitimately reads the
-// wall clock.
+// at the source level). Two internal packages are excluded: api — a
+// real HTTP server whose uptime reporting legitimately reads the wall
+// clock — and perfbench, the benchmark harness whose entire job is
+// measuring real elapsed time. Subpackages inherit their top
+// directory's scope, so obs/perf is deterministic: the profiler runs
+// on an injected Clock and never reads wall time itself.
 var deterministicPkgs = map[string]bool{
 	"cluster":     true,
 	"container":   true,

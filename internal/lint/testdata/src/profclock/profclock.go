@@ -1,0 +1,51 @@
+// Package profclock codifies the profiler clock contract: the perf
+// profiler runs on an injected Clock, so deterministic packages can
+// time their hot phases without touching the wall clock. The fixture
+// is loaded as a deterministic package — the sanctioned injected-clock
+// pattern must produce no findings, a profiler built straight off the
+// wall clock must be caught, and the one legitimate wall-clock
+// profiler (real-latency measurement) must be suppressible with a
+// reasoned //mlcr:allow directive.
+package profclock
+
+import (
+	"time"
+
+	"mlcr/internal/obs/perf"
+)
+
+// Timed is the sanctioned hot-path pattern: span open, work, span
+// close. No wall-clock read anywhere — the profiler's injected clock
+// supplies the timestamps — so the walltime analyzer stays silent.
+func Timed(p *perf.Profiler) int64 {
+	sp := p.Start(perf.PhaseSchedule)
+	work := int64(42)
+	sp.End()
+	return work
+}
+
+// FromVirtual builds a profiler from a virtual clock source, the way
+// platform wires its engine time in. Still clean: the clock is a pure
+// function value handed down by the caller.
+func FromVirtual(now func() time.Duration) *perf.Profiler {
+	return perf.New(perf.Clock(now))
+}
+
+// BadWall anchors a profiler to the wall clock inside a deterministic
+// package — both reads are violations.
+func BadWall() *perf.Profiler {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	return perf.New(func() time.Duration {
+		return time.Since(start) // want `time\.Since reads the wall clock`
+	})
+}
+
+// AllowedWall is the same shape with declared intent: measuring real
+// scheduler latency (the overhead experiment's measurand). The
+// directives suppress both findings.
+func AllowedWall() *perf.Profiler {
+	start := time.Now() //mlcr:allow walltime real decision latency is the measurand here
+	return perf.New(func() time.Duration {
+		return time.Since(start) //mlcr:allow walltime real latency measurement, reported not simulated
+	})
+}

@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"mlcr/internal/obs/perf"
 )
 
 // Sample is one recorded invocation outcome.
@@ -22,18 +24,39 @@ type Sample struct {
 	Level int
 }
 
-// Collector accumulates invocation outcomes during a run.
+// Collector accumulates invocation outcomes during a run. Aggregates —
+// count, totals, level counts and the startup-latency HDR behind
+// StartupQuantile — are always O(1) memory; the per-sample slice is
+// retained by default (batch analysis and the determinism fingerprint
+// need it) but can be switched off with SetRetainSamples for unbounded
+// live traffic, where only the fixed-footprint state keeps growing
+// costs at zero.
 type Collector struct {
 	samples []Sample
 	total   time.Duration
+	count   int
 	cold    int
 	byLevel [4]int
+	// startup holds the startup-latency distribution in nanoseconds.
+	// Lazily allocated on first Record so an empty Collector stays
+	// a few words; ~15 KiB once live.
+	startup *perf.HDR
+	// noRetain inverts "retain samples" so the zero Collector keeps
+	// its historical retaining behavior.
+	noRetain bool
 }
 
 // Record adds one invocation outcome.
 func (c *Collector) Record(s Sample) {
-	c.samples = append(c.samples, s)
+	if !c.noRetain {
+		c.samples = append(c.samples, s)
+	}
+	c.count++
 	c.total += s.Startup
+	if c.startup == nil {
+		c.startup = &perf.HDR{}
+	}
+	c.startup.RecordDuration(s.Startup)
 	if s.Cold {
 		c.cold++
 	}
@@ -42,12 +65,20 @@ func (c *Collector) Record(s Sample) {
 	}
 }
 
+// SetRetainSamples controls whether Record keeps the full per-sample
+// slice. Retention is on by default; the HTTP gateway turns it off so
+// a long-lived serving process stays bounded no matter how many
+// invocations it absorbs. With retention off, Samples, Latencies and
+// Cumulative see only samples recorded while retention was on, while
+// Count and the quantile/aggregate accessors keep covering everything.
+func (c *Collector) SetRetainSamples(retain bool) { c.noRetain = !retain }
+
 // Reserve grows the sample buffer to hold at least n samples. Callers
 // that know the run length up front (the platform does: one sample per
 // invocation) avoid the repeated doubling copies that dominate
-// million-invocation runs.
+// million-invocation runs. A no-op when sample retention is off.
 func (c *Collector) Reserve(n int) {
-	if cap(c.samples)-len(c.samples) >= n {
+	if c.noRetain || cap(c.samples)-len(c.samples) >= n {
 		return
 	}
 	grown := make([]Sample, len(c.samples), len(c.samples)+n)
@@ -56,24 +87,39 @@ func (c *Collector) Reserve(n int) {
 }
 
 // Count returns the number of recorded invocations.
-func (c *Collector) Count() int { return len(c.samples) }
+func (c *Collector) Count() int { return c.count }
+
+// StartupQuantile returns the q-quantile (q in [0,1]) of the startup
+// latency distribution from the collector's streaming HDR histogram:
+// O(1) memory at any run length, ≤3.1% relative error (see
+// internal/obs/perf). Returns 0 before any Record.
+func (c *Collector) StartupQuantile(q float64) time.Duration {
+	if c.startup == nil {
+		return 0
+	}
+	return time.Duration(c.startup.Quantile(q))
+}
+
+// StartupHDR exposes the live startup-latency histogram (nil before
+// any Record), for merging into cross-run aggregates.
+func (c *Collector) StartupHDR() *perf.HDR { return c.startup }
 
 // TotalStartup returns the summed startup latency (Fig 8a, Fig 11).
 func (c *Collector) TotalStartup() time.Duration { return c.total }
 
 // AvgStartup returns the mean startup latency.
 func (c *Collector) AvgStartup() time.Duration {
-	if len(c.samples) == 0 {
+	if c.count == 0 {
 		return 0
 	}
-	return c.total / time.Duration(len(c.samples))
+	return c.total / time.Duration(c.count)
 }
 
 // ColdStarts returns the number of cold starts (Fig 8b).
 func (c *Collector) ColdStarts() int { return c.cold }
 
 // WarmStarts returns the number of warm starts.
-func (c *Collector) WarmStarts() int { return len(c.samples) - c.cold }
+func (c *Collector) WarmStarts() int { return c.count - c.cold }
 
 // ByLevel returns invocation counts indexed by match level
 // (0 = cold, 1..3 = L1..L3 warm starts).

@@ -157,3 +157,67 @@ func TestPropertyBoxOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCollectorStartupQuantile: the streaming HDR quantile tracks the
+// exact sorted-sample percentile within the bucket bound, and never
+// underestimates it.
+func TestCollectorStartupQuantile(t *testing.T) {
+	var c Collector
+	var lat []float64
+	for i := 0; i < 4000; i++ {
+		d := time.Duration((i*2654435761)%50_000_000) * time.Nanosecond
+		c.Record(Sample{Seq: i, Startup: d})
+		lat = append(lat, d.Seconds())
+	}
+	for _, p := range []float64{50, 90, 99} {
+		exact := Percentile(lat, p)
+		got := c.StartupQuantile(p / 100).Seconds()
+		if got < exact*(1-1e-9) {
+			t.Errorf("StartupQuantile(%v) = %v underestimates exact %v", p, got, exact)
+		}
+		if got > exact*1.04+1e-9 {
+			t.Errorf("StartupQuantile(%v) = %v exceeds exact %v by more than the bucket bound", p, got, exact)
+		}
+	}
+	if c.StartupHDR().Count() != int64(c.Count()) {
+		t.Fatalf("HDR count %d != collector count %d", c.StartupHDR().Count(), c.Count())
+	}
+}
+
+// TestCollectorRetentionToggle: with retention off, aggregates and
+// quantiles keep covering every Record while the sample slice stays
+// fixed — the bounded-memory mode behind the live /stats endpoint.
+func TestCollectorRetentionToggle(t *testing.T) {
+	var c Collector
+	c.Record(Sample{Seq: 0, Startup: time.Second, Cold: true})
+	c.SetRetainSamples(false)
+	for i := 1; i < 100; i++ {
+		c.Record(Sample{Seq: i, Startup: time.Millisecond})
+	}
+	if len(c.Samples()) != 1 {
+		t.Fatalf("retained %d samples, want 1 (recorded before toggle)", len(c.Samples()))
+	}
+	if c.Count() != 100 || c.ColdStarts() != 1 || c.WarmStarts() != 99 {
+		t.Fatalf("aggregates broken: count=%d cold=%d warm=%d", c.Count(), c.ColdStarts(), c.WarmStarts())
+	}
+	if got := c.StartupQuantile(0.5); got < time.Millisecond || got > 2*time.Millisecond {
+		t.Fatalf("median %v, want ~1ms", got)
+	}
+	c.Reserve(1 << 20) // must not allocate in no-retain mode
+	if cap(c.Samples()) >= 1<<20 {
+		t.Fatal("Reserve allocated despite retention off")
+	}
+	c.SetRetainSamples(true)
+	c.Record(Sample{Seq: 100, Startup: time.Millisecond})
+	if len(c.Samples()) != 2 {
+		t.Fatalf("retained %d samples after re-enable, want 2", len(c.Samples()))
+	}
+}
+
+// TestCollectorQuantileEmpty: quantiles on an untouched collector are 0.
+func TestCollectorQuantileEmpty(t *testing.T) {
+	var c Collector
+	if c.StartupQuantile(0.99) != 0 || c.StartupHDR() != nil {
+		t.Fatal("empty collector must report zero quantiles and nil HDR")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"mlcr/internal/drl"
 	"mlcr/internal/nn"
+	"mlcr/internal/obs/perf"
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
 	"mlcr/internal/workload"
@@ -158,7 +159,16 @@ type Scheduler struct {
 	episode  int
 	steps    int
 	pend     pending
+	// prof, when non-nil, times the Q-network forward passes of this
+	// run (set via SetProfiler by the platform's observability wiring;
+	// per-run like the rest of the scheduler's mutable state).
+	prof *perf.Profiler
 }
+
+// SetProfiler attaches the run's phase profiler so Schedule can time
+// its Q-network forward passes (PhaseNNForward). The platform calls it
+// through the perf-aware scheduler interface; nil detaches.
+func (s *Scheduler) SetProfiler(p *perf.Profiler) { s.prof = p }
 
 // New creates an MLCR scheduler in inference mode with randomly
 // initialized weights; call Train (or Load) before using it for real
@@ -277,10 +287,14 @@ func (s *Scheduler) Schedule(env platform.Env, inv *workload.Invocation) int {
 		if s.rng.Float64() < s.cfg.GreedyExploreBias {
 			action = greedyAction
 		} else {
+			sp := s.prof.Start(perf.PhaseNNForward)
 			action = s.agent.SelectAction(state, 1)
+			sp.End()
 		}
 	default:
+		sp := s.prof.Start(perf.PhaseNNForward)
 		q := s.agent.QValues(state.X)
+		sp.End()
 		best, bestV := drl.MaskedArgmax(q, state.Mask)
 		action = best
 		if s.cfg.DeviationMargin >= 0 && best != greedyAction &&

@@ -1,23 +1,31 @@
-// Package obs is the repository's observability layer, three pillars
+// Package obs is the repository's observability layer, four pillars
 // shared by the simulator, the HTTP gateway and the training loop:
 //
 //   - a structured trace: typed events (Event) with virtual timestamps,
 //     collected by a pluggable Tracer and exportable as JSONL or as the
 //     Chrome trace_event format (viewable in chrome://tracing/Perfetto);
-//   - a metrics registry (Registry): named counters, gauges and
-//     histograms with allocation-free hot-path updates, a deterministic
-//     text snapshot and Prometheus exposition-format export;
+//   - a metrics registry (Registry): named counters, gauges, histograms
+//     and HDR-backed summaries with allocation-free hot-path updates, a
+//     deterministic text snapshot and Prometheus exposition-format
+//     export;
 //   - a scheduler decision audit log (Audit): for every invocation, the
 //     candidate set the policy saw, per-candidate match levels and prune
-//     reasons, the chosen action and the realized reward.
+//     reasons, the chosen action and the realized reward;
+//   - a phase profiler (obs/perf.Profiler): scoped timers with an
+//     injected clock around the simulator's hot phases, aggregated into
+//     fixed-footprint HDR histograms and exported as a per-run
+//     PerfReport plus Prometheus summaries (see PublishPerf).
 //
-// All three are optional and nil-safe: a disabled Observer costs a nil
+// All four are optional and nil-safe: a disabled Observer costs a nil
 // check per instrumentation point, so determinism and performance of
-// unobserved runs are unchanged (see BenchmarkDisabledTracer).
+// unobserved runs are unchanged (see BenchmarkDisabledTracer and
+// perf.BenchmarkDisabledSpan).
 package obs
 
 import (
 	"time"
+
+	"mlcr/internal/obs/perf"
 )
 
 // Kind identifies the type of a trace event.
@@ -143,7 +151,7 @@ type Tracer interface {
 	Emit(Event)
 }
 
-// Observer bundles the three pillars. Any field may be nil to disable
+// Observer bundles the four pillars. Any field may be nil to disable
 // that pillar; a nil *Observer disables everything. All methods are
 // nil-receiver safe so instrumented code needs no nil checks beyond the
 // guards below.
@@ -151,10 +159,16 @@ type Observer struct {
 	Tracer  Tracer
 	Metrics *Registry
 	Audit   *Audit
+	// Perf aggregates scoped hot-path timings. Unlike the other pillars
+	// it needs a clock, so NewObserver leaves it nil; enable it with
+	// perf.New and an injected clock (a deterministic counter in tests,
+	// wall time in the gateway).
+	Perf *perf.Profiler
 }
 
-// NewObserver returns an Observer with all three pillars enabled: a
-// fresh Recorder, Registry and Audit.
+// NewObserver returns an Observer with the three clock-free pillars
+// enabled: a fresh Recorder, Registry and Audit. Perf stays nil until
+// the caller injects a clock.
 func NewObserver() *Observer {
 	return &Observer{Tracer: NewRecorder(), Metrics: NewRegistry(), Audit: &Audit{}}
 }
@@ -182,4 +196,35 @@ func (o *Observer) Recording() *Recorder {
 	}
 	r, _ := o.Tracer.(*Recorder)
 	return r
+}
+
+// Perfing reports whether hot-path phases are being profiled.
+func (o *Observer) Perfing() bool { return o != nil && o.Perf != nil }
+
+// Profiler returns the perf pillar (nil when disabled), for handing to
+// components that take a *perf.Profiler directly.
+func (o *Observer) Profiler() *perf.Profiler {
+	if o == nil {
+		return nil
+	}
+	return o.Perf
+}
+
+// PublishPerf copies the profiler's per-phase aggregates into the
+// metrics registry as mlcr_phase_seconds summaries (one series per
+// touched phase, quantile labels 0.5/0.9/0.99/0.999). A no-op unless
+// both the Perf and Metrics pillars are enabled. Callers invoke it at
+// run end or scrape time; it is not a hot-path method.
+func (o *Observer) PublishPerf() {
+	if o == nil || o.Perf == nil || o.Metrics == nil {
+		return
+	}
+	for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
+		h := o.Perf.Phase(ph)
+		if h.Count() == 0 {
+			continue
+		}
+		name := `mlcr_phase_seconds{phase="` + ph.String() + `"}`
+		o.Metrics.Summary(name, "Hot-path phase latency by profiler phase.").SetHDR(h)
+	}
 }

@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// MemSnapshot is one point-in-time view of the process's memory, from
+// runtime.ReadMemStats plus the kernel's peak-RSS high-water mark.
+// ReadMem is for bracketing runs and benchmarks, not hot paths: a
+// ReadMemStats call stops the world.
+type MemSnapshot struct {
+	// HeapAllocBytes is live heap memory at snapshot time.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// TotalAllocBytes is cumulative bytes allocated since process start.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// Mallocs is the cumulative count of heap allocations.
+	Mallocs uint64 `json:"mallocs"`
+	// SysBytes is total memory obtained from the OS by the runtime.
+	SysBytes uint64 `json:"sys_bytes"`
+	// PeakRSSBytes is the process's resident-set high-water mark
+	// (VmHWM), 0 where /proc is unavailable.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
+}
+
+// ReadMem captures the current memory snapshot.
+func ReadMem() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSnapshot{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		SysBytes:        ms.Sys,
+		PeakRSSBytes:    PeakRSSBytes(),
+	}
+}
+
+// PeakRSSBytes reads the kernel's VmHWM high-water mark for this
+// process, or 0 when /proc/self/status is unavailable or unparseable
+// (non-Linux platforms).
+func PeakRSSBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	return parseVmHWM(data)
+}
+
+// parseVmHWM extracts the "VmHWM: <n> kB" line from a
+// /proc/<pid>/status blob, returning bytes.
+func parseVmHWM(status []byte) uint64 {
+	for len(status) > 0 {
+		line := status
+		if i := bytes.IndexByte(status, '\n'); i >= 0 {
+			line, status = status[:i], status[i+1:]
+		} else {
+			status = nil
+		}
+		rest, ok := bytes.CutPrefix(line, []byte("VmHWM:"))
+		if !ok {
+			continue
+		}
+		fields := bytes.Fields(rest)
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// MemDelta brackets a region of work with two snapshots. The deltas
+// are derived from the cumulative counters, so they are exact even
+// when GC ran in between.
+type MemDelta struct {
+	Before MemSnapshot `json:"before"`
+	After  MemSnapshot `json:"after"`
+}
+
+// AllocBytes is the total bytes allocated between the snapshots.
+func (d MemDelta) AllocBytes() uint64 { return d.After.TotalAllocBytes - d.Before.TotalAllocBytes }
+
+// AllocCount is the number of heap allocations between the snapshots.
+func (d MemDelta) AllocCount() uint64 { return d.After.Mallocs - d.Before.Mallocs }

@@ -1,0 +1,218 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// counterClock is the deterministic test clock: each read advances by
+// step, so span k measures exactly step nanoseconds.
+func counterClock(step time.Duration) Clock {
+	var t time.Duration
+	return func() time.Duration {
+		t += step
+		return t
+	}
+}
+
+func TestProfilerRecordsSpans(t *testing.T) {
+	p := New(counterClock(10))
+	for i := 0; i < 100; i++ {
+		sp := p.Start(PhaseSchedule)
+		sp.End()
+	}
+	h := p.Phase(PhaseSchedule)
+	if h.Count() != 100 {
+		t.Fatalf("count %d, want 100", h.Count())
+	}
+	if h.Min() != 10 || h.Max() != 10 {
+		t.Fatalf("span width %d..%d, want exactly 10", h.Min(), h.Max())
+	}
+	if p.Phase(PhaseDispatch).Count() != 0 {
+		t.Fatal("untouched phase recorded spans")
+	}
+}
+
+func TestNilProfilerIsInert(t *testing.T) {
+	var p *Profiler
+	sp := p.Start(PhaseNNForward) // must not panic or read any clock
+	sp.End()
+	if p.Phase(PhaseNNForward) != nil {
+		t.Fatal("nil profiler returned a histogram")
+	}
+	if p.Enabled() {
+		t.Fatal("nil profiler reports enabled")
+	}
+	if p.Report() != nil {
+		t.Fatal("nil profiler produced a report")
+	}
+	p.Reset() // no-op, must not panic
+	p.Merge(New(counterClock(1)))
+}
+
+func TestNewPanicsOnNilClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil) did not panic")
+		}
+	}()
+	New(nil)
+}
+
+func TestProfilerReport(t *testing.T) {
+	p := New(counterClock(5))
+	for i := 0; i < 7; i++ {
+		sp := p.Start(PhasePoolScan)
+		sp.End()
+	}
+	sp := p.Start(PhaseRoute)
+	sp.End()
+
+	r := p.Report()
+	if len(r.Phases) != 2 {
+		t.Fatalf("report has %d phases, want 2 (only touched ones)", len(r.Phases))
+	}
+	scan, ok := r.PhaseByName("pool_scan")
+	if !ok || scan.Count != 7 || scan.TotalNS != 35 || scan.P50NS != 5 {
+		t.Fatalf("pool_scan stat %+v", scan)
+	}
+	if _, ok := r.PhaseByName("dispatch"); ok {
+		t.Fatal("report includes untouched phase")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL has %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"phase":"pool_scan"`) {
+		t.Fatalf("first JSONL line %q", lines[0])
+	}
+
+	r.Mem = &MemDelta{Before: MemSnapshot{TotalAllocBytes: 10, Mallocs: 1}, After: MemSnapshot{TotalAllocBytes: 30, Mallocs: 4}}
+	buf.Reset()
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"mem"`) {
+		t.Fatal("JSONL missing mem line")
+	}
+	if r.Mem.AllocBytes() != 20 || r.Mem.AllocCount() != 3 {
+		t.Fatalf("mem delta %d/%d", r.Mem.AllocBytes(), r.Mem.AllocCount())
+	}
+}
+
+func TestProfilerMerge(t *testing.T) {
+	a, b := New(counterClock(3)), New(counterClock(9))
+	for i := 0; i < 4; i++ {
+		sp := a.Start(PhaseDispatch)
+		sp.End()
+	}
+	sp := b.Start(PhaseDispatch)
+	sp.End()
+	a.Merge(b)
+	h := a.Phase(PhaseDispatch)
+	if h.Count() != 5 || h.Sum() != 4*3+9 {
+		t.Fatalf("merged count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		n := ph.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("phase %d has bad or duplicate name %q", ph, n)
+		}
+		seen[n] = true
+	}
+	if NumPhases.String() != "unknown" {
+		t.Fatal("out-of-range phase must stringify as unknown")
+	}
+}
+
+func TestReadMem(t *testing.T) {
+	before := ReadMem()
+	sink := make([]byte, 1<<20)
+	_ = sink
+	after := ReadMem()
+	d := MemDelta{Before: before, After: after}
+	if d.AllocBytes() < 1<<20 {
+		t.Fatalf("alloc delta %d, want ≥ 1MiB", d.AllocBytes())
+	}
+	if after.SysBytes == 0 || after.Mallocs == 0 {
+		t.Fatal("snapshot missing runtime stats")
+	}
+	// PeakRSSBytes may legitimately be 0 off-Linux; when present it
+	// should be plausibly large (≥ 1 MiB for any Go process).
+	if rss := after.PeakRSSBytes; rss != 0 && rss < 1<<20 {
+		t.Fatalf("implausible peak RSS %d", rss)
+	}
+}
+
+func TestParseVmHWM(t *testing.T) {
+	status := []byte("Name:\tx\nVmPeak:\t  999 kB\nVmHWM:\t  2048 kB\nVmRSS:\t 1 kB\n")
+	if got := parseVmHWM(status); got != 2048*1024 {
+		t.Fatalf("parseVmHWM = %d, want %d", got, 2048*1024)
+	}
+	if got := parseVmHWM([]byte("nothing here\n")); got != 0 {
+		t.Fatalf("parseVmHWM on garbage = %d, want 0", got)
+	}
+	if got := parseVmHWM([]byte("VmHWM:\tnot-a-number kB\n")); got != 0 {
+		t.Fatalf("parseVmHWM on bad number = %d, want 0", got)
+	}
+}
+
+// TestDisabledSpanZeroAllocs is the satellite contract: a disabled
+// profiler scope is 0 allocs/op.
+func TestDisabledSpanZeroAllocs(t *testing.T) {
+	var p *Profiler
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := p.Start(PhaseSchedule)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledSpanZeroAllocs: even enabled scopes never allocate — the
+// Span is a value and the HDR storage is preallocated.
+func TestEnabledSpanZeroAllocs(t *testing.T) {
+	p := New(counterClock(1))
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := p.Start(PhaseSchedule)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled span allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledSpan measures the cost of an instrumented scope
+// with profiling off (nil profiler): two nil checks, 0 allocs/op —
+// cheap enough to leave in every hot path unconditionally.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var p *Profiler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := p.Start(PhaseSchedule)
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan measures a live scope with a trivial clock:
+// two clock reads plus one HDR record.
+func BenchmarkEnabledSpan(b *testing.B) {
+	p := New(counterClock(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := p.Start(PhaseSchedule)
+		sp.End()
+	}
+}

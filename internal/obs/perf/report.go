@@ -1,0 +1,101 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// PhaseStat is the aggregated timing of one phase over a run, with
+// quantiles quantized to the HDR bucket edges (≤3.1% relative error)
+// and exact count/total/min/max.
+type PhaseStat struct {
+	Phase   string `json:"phase"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MinNS   int64  `json:"min_ns"`
+	MaxNS   int64  `json:"max_ns"`
+	P50NS   int64  `json:"p50_ns"`
+	P90NS   int64  `json:"p90_ns"`
+	P99NS   int64  `json:"p99_ns"`
+	P999NS  int64  `json:"p999_ns"`
+}
+
+// statOf summarizes one HDR into a PhaseStat.
+func statOf(name string, h *HDR) PhaseStat {
+	return PhaseStat{
+		Phase:   name,
+		Count:   h.Count(),
+		TotalNS: h.Sum(),
+		MinNS:   h.Min(),
+		MaxNS:   h.Max(),
+		P50NS:   h.Quantile(0.50),
+		P90NS:   h.Quantile(0.90),
+		P99NS:   h.Quantile(0.99),
+		P999NS:  h.Quantile(0.999),
+	}
+}
+
+// Report is the per-run phase breakdown plus optional memory
+// bracketing — the PerfReport attached to a platform RunResult and
+// serialized into bench results. Phases appear in taxonomy order and
+// only when they recorded at least one span.
+type Report struct {
+	Phases []PhaseStat `json:"phases"`
+	Mem    *MemDelta   `json:"mem,omitempty"`
+}
+
+// Report summarizes the profiler's current state. Returns nil on a nil
+// profiler so downstream JSON omits the field entirely.
+func (p *Profiler) Report() *Report {
+	if p == nil {
+		return nil
+	}
+	r := &Report{}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		h := &p.phases[ph]
+		if h.Count() == 0 {
+			continue
+		}
+		r.Phases = append(r.Phases, statOf(ph.String(), h))
+	}
+	return r
+}
+
+// PhaseByName returns the stat for the named phase, or a zero stat and
+// false when the phase recorded nothing.
+func (r *Report) PhaseByName(name string) (PhaseStat, bool) {
+	if r == nil {
+		return PhaseStat{}, false
+	}
+	for _, s := range r.Phases {
+		if s.Phase == name {
+			return s, true
+		}
+	}
+	return PhaseStat{}, false
+}
+
+// WriteJSONL emits the report as one JSON object per line — one line
+// per phase, then one {"mem": …} line when memory was bracketed —
+// matching the observability layer's JSONL trace convention so perf
+// lines can be appended to the same stream.
+func (r *Report) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for i := range r.Phases {
+		if err := enc.Encode(&r.Phases[i]); err != nil {
+			return fmt.Errorf("perf: encode phase %s: %w", r.Phases[i].Phase, err)
+		}
+	}
+	if r.Mem != nil {
+		if err := enc.Encode(struct {
+			Mem *MemDelta `json:"mem"`
+		}{r.Mem}); err != nil {
+			return fmt.Errorf("perf: encode mem: %w", err)
+		}
+	}
+	return nil
+}

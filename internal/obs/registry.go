@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mlcr/internal/metrics"
+	"mlcr/internal/obs/perf"
 )
 
 // Counter is a monotonically increasing integer metric. Updates are
@@ -60,6 +61,45 @@ func (h *Histogram) snapshot() (bounds []time.Duration, counts []int, sum time.D
 	return h.h.Boundaries(), h.h.Counts(), h.h.Sum(), h.h.Count()
 }
 
+// summaryQuantiles are the quantile labels every Summary exports.
+var summaryQuantiles = [...]float64{0.5, 0.9, 0.99, 0.999}
+
+// Summary is a quantile summary backed by a perf.HDR: fixed ~15 KiB
+// footprint regardless of sample count, ≤3.1% quantile error, exported
+// in the Prometheus summary format. It is fed either by Observe (live
+// gateway paths) or wholesale via SetHDR (per-run profiler exports).
+// A small mutex makes observe/scrape safe concurrently.
+type Summary struct {
+	mu sync.Mutex
+	h  perf.HDR
+}
+
+// Observe records one duration sample.
+func (s *Summary) Observe(d time.Duration) {
+	s.mu.Lock()
+	s.h.RecordDuration(d)
+	s.mu.Unlock()
+}
+
+// SetHDR replaces the summary's aggregate state with a copy of h,
+// so per-run profiler histograms can be published without the summary
+// aliasing live recording state.
+func (s *Summary) SetHDR(h *perf.HDR) {
+	if h == nil {
+		return
+	}
+	s.mu.Lock()
+	s.h = *h
+	s.mu.Unlock()
+}
+
+// snapshot copies the HDR under the lock.
+func (s *Summary) snapshot() perf.HDR {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h
+}
+
 // metricName validates Prometheus metric names; labels, when present,
 // follow as a {name="value",...} suffix.
 var (
@@ -88,22 +128,24 @@ func splitName(name string) (base, labels string) {
 // eagerly and increment via the returned pointer with zero lookups on
 // the hot path.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	help     map[string]string // base name -> help text
-	typ      map[string]string // base name -> prometheus type
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	summaries map[string]*Summary
+	help      map[string]string // base name -> help text
+	typ       map[string]string // base name -> prometheus type
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
-		help:     map[string]string{},
-		typ:      map[string]string{},
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
+		summaries: map[string]*Summary{},
+		help:      map[string]string{},
+		typ:       map[string]string{},
 	}
 }
 
@@ -167,6 +209,20 @@ func (r *Registry) Histogram(name, help string, boundaries []time.Duration) *His
 	return h
 }
 
+// Summary returns the quantile summary with the given name, creating
+// it on first use.
+func (r *Registry) Summary(name, help string) *Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, "summary")
+	s, ok := r.summaries[name]
+	if !ok {
+		s = &Summary{}
+		r.summaries[name] = s
+	}
+	return s
+}
+
 // Snapshot renders the registry in Prometheus exposition format and
 // returns it as a string. The output is deterministic: families sorted
 // by base name, series sorted by full name.
@@ -197,6 +253,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		base, _ := splitName(name)
 		families[base] = append(families[base], series{name, "histogram"})
 	}
+	for name := range r.summaries {
+		base, _ := splitName(name)
+		families[base] = append(families[base], series{name, "summary"})
+	}
 	bases := make([]string, 0, len(families))
 	for base := range families {
 		bases = append(bases, base)
@@ -219,6 +279,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(bw, "%s %s\n", s.name, formatFloat(r.gauges[s.name].Value()))
 			case "histogram":
 				writeHistogram(bw, s.name, r.hists[s.name])
+			case "summary":
+				writeSummary(bw, s.name, r.summaries[s.name])
 			}
 		}
 	}
@@ -245,6 +307,25 @@ func writeHistogram(w io.Writer, name string, h *Histogram) {
 	fmt.Fprintf(w, "%s_bucket%s %d\n", base, joined(`le="+Inf"`), total)
 	fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, formatFloat(sum.Seconds()))
 	fmt.Fprintf(w, "%s_count%s %d\n", base, labels, total)
+}
+
+// writeSummary expands one summary into quantile series plus _sum and
+// _count, with values in seconds (HDR records nanoseconds).
+func writeSummary(w io.Writer, name string, s *Summary) {
+	base, labels := splitName(name)
+	h := s.snapshot()
+	joined := func(extra string) string {
+		if labels == "" {
+			return "{" + extra + "}"
+		}
+		return labels[:len(labels)-1] + "," + extra + "}"
+	}
+	for _, q := range summaryQuantiles {
+		v := float64(h.Quantile(q)) / 1e9
+		fmt.Fprintf(w, "%s%s %s\n", base, joined(`quantile="`+formatFloat(q)+`"`), formatFloat(v))
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, formatFloat(float64(h.Sum())/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count())
 }
 
 // formatFloat renders a float deterministically ('g', shortest).

@@ -1,0 +1,300 @@
+// Package perfbench is the bench-regression harness behind
+// `make bench-all` / `make bench-check` (DESIGN.md §11): it re-runs
+// the repository's representative benchmarks in-process, records each
+// as a schema'd Entry (ns/op, allocs/op, invocations/sec, peak RSS)
+// under a machine fingerprint, and compares a fresh run against the
+// committed BENCH_all.json baseline with configurable thresholds.
+//
+// perfbench is deliberately outside the determinism contract (see
+// internal/lint/scope.go): measuring real elapsed time is its entire
+// job, so it reads the wall clock freely. The workloads it replays are
+// still fully deterministic — only the timings vary run to run.
+package perfbench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"mlcr/internal/container"
+	"mlcr/internal/drl"
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/nn"
+	"mlcr/internal/obs/perf"
+	"mlcr/internal/platform"
+	"mlcr/internal/policy"
+	"mlcr/internal/pool"
+	"mlcr/internal/runner"
+	"mlcr/internal/workload"
+)
+
+// Tier names. simcore and runner are throughput tiers (one op = one
+// invocation, InvPerSec set); hotpath is the micro-benchmark tier.
+const (
+	TierSimCore = "simcore"
+	TierHotPath = "hotpath"
+	TierRunner  = "runner"
+)
+
+// Tiers lists every tier in execution order.
+func Tiers() []string { return []string{TierSimCore, TierHotPath, TierRunner} }
+
+// Options size a benchmark run.
+type Options struct {
+	// Quick shrinks every tier to smoke-test scale (a second or two
+	// total) — the bench-check mode scripts/check.sh runs.
+	Quick bool
+	// SimCoreInvocations overrides the simcore trace size
+	// (default 1000000; 20000 under Quick).
+	SimCoreInvocations int
+}
+
+func (o Options) simCoreN() int {
+	if o.SimCoreInvocations > 0 {
+		return o.SimCoreInvocations
+	}
+	if o.Quick {
+		return 20000
+	}
+	return 1000000
+}
+
+// scale picks the full or quick iteration count.
+func (o Options) scale(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Run measures the named tiers (nil = all) and assembles the report.
+func Run(tiers []string, opts Options) (*Report, error) {
+	if len(tiers) == 0 {
+		tiers = Tiers()
+	}
+	r := &Report{
+		Schema:      Schema,
+		GeneratedBy: "cmd/mlcr-perf",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Machine:     ThisMachine(),
+	}
+	for _, tier := range tiers {
+		switch tier {
+		case TierSimCore:
+			r.Entries = append(r.Entries, simCoreTier(opts))
+		case TierHotPath:
+			r.Entries = append(r.Entries, hotPathTier(opts)...)
+		case TierRunner:
+			r.Entries = append(r.Entries, runnerTier(opts))
+		default:
+			return nil, fmt.Errorf("unknown tier %q (have %v)", tier, Tiers())
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("perfbench produced an invalid report: %v", err)
+	}
+	return r, nil
+}
+
+// timeRegion runs fn once and converts its wall-clock time and exact
+// allocation-counter deltas into an Entry over ops operations. A GC
+// settles the heap first so fn's allocation count is its own.
+func timeRegion(tier, name string, ops int, fn func()) Entry {
+	runtime.GC()
+	before := perf.ReadMem()
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	after := perf.ReadMem()
+	d := perf.MemDelta{Before: before, After: after}
+	return Entry{
+		Name:         name,
+		Tier:         tier,
+		Iterations:   ops,
+		NsPerOp:      float64(elapsed.Nanoseconds()) / float64(ops),
+		BytesPerOp:   float64(d.AllocBytes()) / float64(ops),
+		AllocsPerOp:  float64(d.AllocCount()) / float64(ops),
+		PeakRSSBytes: after.PeakRSSBytes,
+	}
+}
+
+// --- simcore tier ---
+
+// simCoreWorkload mirrors the trace of BenchmarkSimCore
+// (bench_simcore_test.go): the 13-function FStartBench catalog cloned
+// until AzureMix's power-law invocation counts cover n, truncated to
+// exactly n invocations, all from one fixed seed.
+func simCoreWorkload(n int) workload.Workload {
+	fnsPer := len(fstartbench.Functions())
+	clones := n/(fnsPer*7) + 1
+	for {
+		rng := rand.New(rand.NewSource(1))
+		var fns []*workload.Function
+		for k := 0; k < clones; k++ {
+			for _, f := range fstartbench.Functions() {
+				f.ID = k*fnsPer + f.ID
+				fns = append(fns, f)
+			}
+		}
+		mix := workload.AzureMix{Rng: rng}
+		w := mix.Build("simcore", fns, 0.1)
+		if len(w.Invocations) >= n {
+			w.Invocations = w.Invocations[:n]
+			return w
+		}
+		clones *= 2
+	}
+}
+
+// firstFitSched reuses the first (deepest-level) index candidate, else
+// cold-starts; its candidate buffer is reused so scheduling is
+// allocation-free and the tier isolates the simulator core.
+type firstFitSched struct {
+	buf []pool.MatchCandidate
+}
+
+func (*firstFitSched) Name() string { return "perfbench-first-fit" }
+
+func (s *firstFitSched) Schedule(env platform.Env, inv *workload.Invocation) int {
+	s.buf = env.Pool.AppendMatches(s.buf[:0], inv.Fn.Image)
+	if len(s.buf) == 0 {
+		return platform.ColdStart
+	}
+	return s.buf[0].C.ID
+}
+
+func (*firstFitSched) OnResult(platform.Env, *workload.Invocation, platform.Result) {}
+
+// simCoreTier replays the full engine+platform+pool path over n
+// invocations — the BENCH_simcore.json measurement, re-expressed as a
+// schema'd entry with memory accounting.
+func simCoreTier(opts Options) Entry {
+	n := opts.simCoreN()
+	w := simCoreWorkload(n)
+	p := platform.New(platform.Config{PoolCapacityMB: 4096}, &firstFitSched{})
+	e := timeRegion(TierSimCore, "SimCore", n, func() {
+		if got := p.Run(w).Metrics.Count(); got != n {
+			panic(fmt.Sprintf("perfbench: simulated %d invocations, want %d", got, n))
+		}
+	})
+	e.InvPerSec = 1e9 / e.NsPerOp
+	return e
+}
+
+// --- hotpath tier ---
+
+// hotPathTier measures the per-decision micro-benchmarks of
+// BENCH_hotpath.json: Q-network inference, featurization (pool scan +
+// multi-level matching) and the pool add/take cycle.
+func hotPathTier(opts Options) []Entry {
+	var entries []Entry
+
+	rng := rand.New(rand.NewSource(1))
+	q := drl.NewQNetwork(drl.QConfig{Tokens: 6, Width: 39, Actions: 5, Dim: 24, Heads: 2, Hidden: 48}, rng)
+	x := nn.NewTensor(6, 39).Randn(rng, 1)
+	q.Forward(x) // warm the lazily grown activation workspace
+	n := opts.scale(20000, 200)
+	entries = append(entries, timeRegion(TierHotPath, "QNetworkForward", n, func() {
+		for i := 0; i < n; i++ {
+			q.Forward(x)
+		}
+	}))
+
+	feat := &drl.Featurizer{Slots: 8, NormMB: 2048}
+	ec := envCapture{}
+	platform.New(platform.Config{PoolCapacityMB: 4096, Evictor: pool.LRU{}}, &ec).
+		Run(fstartbench.Build(fstartbench.Uniform, 3, fstartbench.Options{Count: 40}))
+	if ec.inv == nil {
+		panic("perfbench: no featurize decision point captured")
+	}
+	feat.Build(ec.env, ec.inv) // warm the lazily grown workspace
+	n = opts.scale(200000, 2000)
+	entries = append(entries, timeRegion(TierHotPath, "Featurize", n, func() {
+		for i := 0; i < n; i++ {
+			feat.Build(ec.env, ec.inv)
+		}
+	}))
+
+	f := fstartbench.ByID(fstartbench.Functions(), 5)
+	p := pool.New(1<<30, pool.LRU{})
+	n = opts.scale(200000, 2000)
+	entries = append(entries, timeRegion(TierHotPath, "PoolAddTake", n, func() {
+		for i := 0; i < n; i++ {
+			inv := &workload.Invocation{Fn: f, Exec: f.Exec}
+			c, _ := container.NewCold(i+1, inv, time.Duration(i)*time.Millisecond)
+			c.Complete(c.BusyUntil)
+			p.Add(c, time.Second, c.IdleSince)
+			p.Take(c.ID, c.IdleSince)
+		}
+	}))
+	return entries
+}
+
+// envCapture records the last decision point with a warm pool, so the
+// featurize benchmark measures a representative state build.
+type envCapture struct {
+	env platform.Env
+	inv *workload.Invocation
+}
+
+func (*envCapture) Name() string { return "perfbench-env-capture" }
+
+func (c *envCapture) Schedule(env platform.Env, inv *workload.Invocation) int {
+	if env.Pool.Len() >= 3 {
+		c.env, c.inv = env, inv
+	}
+	return platform.ColdStart
+}
+
+func (*envCapture) OnResult(platform.Env, *workload.Invocation, platform.Result) {}
+
+// --- runner tier ---
+
+// runnerTier drives the parallel run harness through a policy sweep
+// (4 baseline policies × 2 workloads × 2 pool sizes, the acceptance
+// sweep of internal/runner) and reports per-invocation cost across the
+// whole fan-out.
+func runnerTier(opts Options) Entry {
+	count := opts.scale(120, 40)
+	rounds := opts.scale(3, 1)
+	workloads := []workload.Workload{
+		fstartbench.Build(fstartbench.HiSim, 7, fstartbench.Options{Count: count}),
+		fstartbench.Build(fstartbench.Uniform, 7, fstartbench.Options{Count: count}),
+	}
+	factories := []struct {
+		name string
+		mk   func() (platform.Scheduler, pool.Evictor)
+	}{
+		{"LRU", func() (platform.Scheduler, pool.Evictor) { s := policy.NewLRU(); return s, s.Evictor() }},
+		{"FaasCache", func() (platform.Scheduler, pool.Evictor) { s := policy.NewFaasCache(); return s, s.Evictor() }},
+		{"KeepAlive", func() (platform.Scheduler, pool.Evictor) { s := policy.NewKeepAlive(); return s, s.Evictor() }},
+		{"Greedy-Match", func() (platform.Scheduler, pool.Evictor) { s := policy.NewGreedyMatch(); return s, s.Evictor() }},
+	}
+	newSpecs := func() []runner.Spec {
+		var specs []runner.Spec
+		for _, w := range workloads {
+			for _, p := range factories {
+				for _, poolMB := range []float64{1500, 4000} {
+					specs = append(specs, runner.Spec{
+						Name: p.name + "/" + w.Name, Workload: w,
+						PoolCapacityMB: poolMB, New: p.mk,
+					})
+				}
+			}
+		}
+		return specs
+	}
+	invs := 0
+	for _, w := range workloads {
+		invs += len(w.Invocations)
+	}
+	ops := invs * len(factories) * 2 * rounds
+	e := timeRegion(TierRunner, "RunnerSweep", ops, func() {
+		for r := 0; r < rounds; r++ {
+			runner.Run(newSpecs(), runner.Options{})
+		}
+	})
+	e.InvPerSec = 1e9 / e.NsPerOp
+	return e
+}

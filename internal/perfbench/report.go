@@ -1,0 +1,154 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Schema is the version tag every BENCH_all.json carries; readers
+// reject files whose tag they do not understand.
+const Schema = "mlcr-bench-all/v1"
+
+// HistoryCap bounds the history array a report carries: each
+// regeneration pushes the previous run's compact summary, oldest
+// entries falling off.
+const HistoryCap = 12
+
+// Machine fingerprints the hardware/toolchain a report was measured
+// on. Numbers are only comparable within one fingerprint, so Compare
+// skips threshold checks across differing machines.
+type Machine struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// ThisMachine returns the fingerprint of the running process.
+func ThisMachine() Machine {
+	return Machine{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Entry is one measured benchmark: an operation name within a tier and
+// its per-operation cost. InvPerSec is reported by the throughput
+// tiers (simcore, runner) where an operation is one invocation.
+type Entry struct {
+	Name         string  `json:"name"`
+	Tier         string  `json:"tier"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_op"`
+	BytesPerOp   float64 `json:"b_op"`
+	AllocsPerOp  float64 `json:"allocs_op"`
+	InvPerSec    float64 `json:"invocations_per_sec,omitempty"`
+	PeakRSSBytes uint64  `json:"peak_rss_bytes,omitempty"`
+}
+
+// HistoryPoint is the compact trace one regeneration leaves behind:
+// when it ran and the ns/op of every entry it measured.
+type HistoryPoint struct {
+	GeneratedAt string             `json:"generated_at"`
+	NsPerOp     map[string]float64 `json:"ns_op"`
+}
+
+// Report is the BENCH_all.json document.
+type Report struct {
+	Schema      string         `json:"schema"`
+	GeneratedBy string         `json:"generated_by"`
+	GeneratedAt string         `json:"generated_at"`
+	Machine     Machine        `json:"machine"`
+	Entries     []Entry        `json:"entries"`
+	History     []HistoryPoint `json:"history,omitempty"`
+}
+
+// Validate checks the structural invariants a well-formed report holds:
+// the schema tag, a non-empty entry list, and per-entry sanity (named,
+// tiered, positive cost, unique names).
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
+	}
+	if len(r.Entries) == 0 {
+		return fmt.Errorf("report has no entries")
+	}
+	seen := make(map[string]bool, len(r.Entries))
+	for i, e := range r.Entries {
+		switch {
+		case e.Name == "":
+			return fmt.Errorf("entry %d has no name", i)
+		case e.Tier == "":
+			return fmt.Errorf("entry %q has no tier", e.Name)
+		case e.Iterations <= 0:
+			return fmt.Errorf("entry %q: iterations %d, want > 0", e.Name, e.Iterations)
+		case e.NsPerOp <= 0:
+			return fmt.Errorf("entry %q: ns_op %v, want > 0", e.Name, e.NsPerOp)
+		case e.AllocsPerOp < 0 || e.BytesPerOp < 0 || e.InvPerSec < 0:
+			return fmt.Errorf("entry %q has a negative metric", e.Name)
+		case seen[e.Name]:
+			return fmt.Errorf("duplicate entry %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	if len(r.History) > HistoryCap {
+		return fmt.Errorf("history has %d points, cap is %d", len(r.History), HistoryCap)
+	}
+	return nil
+}
+
+// Entry returns the named entry, nil when absent.
+func (r *Report) Entry(name string) *Entry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// PushHistory prepends prev's compact summary to r's history and
+// carries prev's own history forward, capped at HistoryCap points
+// (newest first).
+func (r *Report) PushHistory(prev *Report) {
+	if prev == nil {
+		return
+	}
+	point := HistoryPoint{GeneratedAt: prev.GeneratedAt, NsPerOp: make(map[string]float64, len(prev.Entries))}
+	for _, e := range prev.Entries {
+		point.NsPerOp[e.Name] = e.NsPerOp
+	}
+	r.History = append([]HistoryPoint{point}, prev.History...)
+	if len(r.History) > HistoryCap {
+		r.History = r.History[:HistoryCap]
+	}
+}
+
+// ReadFile loads and validates a report.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// WriteFile writes the report as indented JSON with a trailing newline.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

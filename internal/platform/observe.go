@@ -7,6 +7,7 @@ import (
 	"mlcr/internal/container"
 	"mlcr/internal/core"
 	"mlcr/internal/obs"
+	"mlcr/internal/obs/perf"
 	"mlcr/internal/pool"
 	"mlcr/internal/sim"
 	"mlcr/internal/workload"
@@ -87,6 +88,23 @@ func (p *Platform) wireObservability() {
 			}
 			o.Emit(obs.Event{Kind: obs.KindEventFired, At: at, Seq: -1, Fn: -1, Detail: name})
 		}
+	}
+	if p.prof != nil {
+		// Bracket every event dispatch with a PhaseDispatch span: the
+		// engine's OnEvent hook (composed with the tracing hook above)
+		// opens it, AfterEvent closes it. Dispatch is single-threaded
+		// and non-reentrant, so one in-flight span slot suffices.
+		traceHook := p.engine.OnEvent
+		p.engine.OnEvent = func(at sim.Time, kind sim.EventKind, arg int64, name string) {
+			if traceHook != nil {
+				traceHook(at, kind, arg, name)
+			}
+			p.dispatchSpan = p.prof.Start(perf.PhaseDispatch)
+		}
+		p.engine.AfterEvent = func(sim.Time, sim.EventKind, int64) {
+			p.dispatchSpan.End()
+		}
+		p.pool.Prof = p.prof
 	}
 	p.pool.OnEvict = func(c *container.Container, reason string, now time.Duration) {
 		if o.Tracing() {

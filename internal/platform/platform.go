@@ -16,6 +16,7 @@ import (
 	"mlcr/internal/core"
 	"mlcr/internal/metrics"
 	"mlcr/internal/obs"
+	"mlcr/internal/obs/perf"
 	"mlcr/internal/pool"
 	"mlcr/internal/registry"
 	"mlcr/internal/sim"
@@ -118,6 +119,11 @@ type RunResult struct {
 	PoolSeries metrics.Series
 	// ContainersCreated counts cold-started sandboxes.
 	ContainersCreated int
+	// Perf is the per-run phase breakdown with memory bracketing,
+	// non-nil only when the run's Observer carried a phase profiler.
+	// It reports measurement (host time, host memory), not simulation
+	// state, so it is deliberately excluded from runner.Fingerprint.
+	Perf *perf.Report
 }
 
 // finishRec is the payload of one in-flight completion event: the busy
@@ -156,6 +162,16 @@ type Platform struct {
 	rate      workload.RateEMA
 	ran       bool
 
+	// prof is the observer's phase profiler (nil when perf is off),
+	// cached so hot paths pay one field read per scope. dispatchSpan is
+	// the in-flight event-dispatch span bracketed by the engine's
+	// OnEvent/AfterEvent hooks (dispatch is single-threaded and
+	// non-reentrant, so one slot suffices). memBefore brackets Run for
+	// the report's memory accounting.
+	prof         *perf.Profiler
+	dispatchSpan perf.Span
+	memBefore    perf.MemSnapshot
+
 	res RunResult
 }
 
@@ -189,6 +205,14 @@ func New(cfg Config, sched Scheduler) *Platform {
 	p.kindFinish = p.engine.RegisterKind(func(_ *sim.Engine, _ sim.Time, arg int64) {
 		p.handleFinish(int(arg))
 	})
+	p.prof = cfg.Obs.Profiler()
+	// Schedulers that can time interior phases (the MLCR scheduler's
+	// Q-network forward pass) take the run's profiler through this
+	// optional interface; a nil profiler detaches any previous one so
+	// cloned schedulers never record into a dead run.
+	if pa, ok := sched.(interface{ SetProfiler(*perf.Profiler) }); ok {
+		pa.SetProfiler(p.prof)
+	}
 	p.wireObservability()
 	return p
 }
@@ -225,10 +249,28 @@ func (p *Platform) Run(w workload.Workload) *RunResult {
 	if len(w.Invocations) > 0 {
 		p.engine.ScheduleKindSeq(w.Invocations[0].Arrival, p.kindArrival, 0, p.arrivalBase)
 	}
+	if p.prof != nil {
+		p.memBefore = perf.ReadMem()
+	}
 	p.engine.Run()
 	p.res.PoolStats = p.pool.Stats()
 	p.res.CleanerOps = p.cleaner.Ops()
+	p.finishPerf()
 	return &p.res
+}
+
+// finishPerf snapshots the profiler into the result's PerfReport and
+// publishes per-phase summaries to the metrics registry. A no-op
+// without a profiler; safe to call more than once (Drain after
+// Invoke), the later report superseding the earlier.
+func (p *Platform) finishPerf() {
+	if p.prof == nil {
+		return
+	}
+	rep := p.prof.Report()
+	rep.Mem = &perf.MemDelta{Before: p.memBefore, After: perf.ReadMem()}
+	p.res.Perf = rep
+	p.obs.PublishPerf()
 }
 
 func (p *Platform) env() Env {
@@ -267,6 +309,7 @@ func (p *Platform) Drain() *RunResult {
 	p.engine.Run()
 	p.res.PoolStats = p.pool.Stats()
 	p.res.CleanerOps = p.cleaner.Ops()
+	p.finishPerf()
 	return &p.res
 }
 
@@ -294,7 +337,9 @@ func (p *Platform) arrive(inv *workload.Invocation) Result {
 	}
 
 	env := p.env()
+	sp := p.prof.Start(perf.PhaseSchedule)
 	choice := p.sched.Schedule(env, inv)
+	sp.End()
 
 	var (
 		c   *container.Container

@@ -4,6 +4,7 @@ import (
 	"mlcr/internal/container"
 	"mlcr/internal/core"
 	"mlcr/internal/image"
+	"mlcr/internal/obs/perf"
 )
 
 // MatchCandidate is one idle container that matches a queried image,
@@ -29,6 +30,7 @@ type MatchCandidate struct {
 // Buckets are probed with the image's interned LevelIDs, so the lookups
 // hash and compare dense integers, never key strings.
 func (p *Pool) AppendMatches(dst []MatchCandidate, img image.Image) []MatchCandidate {
+	sp := p.Prof.Start(perf.PhasePoolScan)
 	ids := img.LevelIDs()
 	for _, e := range p.l3[ids] {
 		dst = append(dst, MatchCandidate{C: e.c, Level: core.MatchL3})
@@ -43,6 +45,7 @@ func (p *Pool) AppendMatches(dst []MatchCandidate, img image.Image) []MatchCandi
 			dst = append(dst, MatchCandidate{C: e.c, Level: core.MatchL1})
 		}
 	}
+	sp.End()
 	return dst
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"mlcr/internal/container"
 	"mlcr/internal/image"
+	"mlcr/internal/obs/perf"
 )
 
 // Evictor decides which idle container to sacrifice when the pool is full,
@@ -112,6 +113,12 @@ type Pool struct {
 	// of the Reason* constants and the current virtual time. It is the
 	// pool-level observability hook; a nil hook costs one branch.
 	OnEvict func(c *container.Container, reason string, now time.Duration)
+
+	// Prof, when non-nil, times the pool's hot phases (index scans,
+	// eviction victim selection) into the run's phase profiler. Set by
+	// the platform's observability wiring; a nil profiler costs one
+	// branch per scope (see perf.Span).
+	Prof *perf.Profiler
 }
 
 // New creates a pool with the given capacity in MB (<= 0 for unlimited)
@@ -241,7 +248,9 @@ func (p *Pool) Add(c *container.Container, startupCost time.Duration, now time.D
 			}
 			return false
 		}
+		sp := p.Prof.Start(perf.PhasePoolEvict)
 		victim := p.evictor.Victim(p.Idle(), now)
+		sp.End()
 		if victim == nil {
 			c.Kill()
 			p.stats.Rejections++

@@ -186,3 +186,51 @@ func TestPropertyOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEventHooksBracketDispatch: OnEvent fires before the handler,
+// AfterEvent after it, for both closure and typed events — the
+// bracketing contract the phase profiler relies on.
+func TestEventHooksBracketDispatch(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.OnEvent = func(at Time, kind EventKind, arg int64, name string) {
+		order = append(order, "on")
+	}
+	e.AfterEvent = func(at Time, kind EventKind, arg int64) {
+		order = append(order, "after")
+	}
+	kind := e.RegisterKind(func(e *Engine, at Time, arg int64) {
+		order = append(order, "typed")
+	})
+	e.Schedule(1, "closure", func(e *Engine) { order = append(order, "closure") })
+	e.ScheduleKind(2, kind, 42)
+	e.Run()
+	want := []string{"on", "closure", "after", "on", "typed", "after"}
+	if len(order) != len(want) {
+		t.Fatalf("hook order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hook order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAfterEventSeesFollowupSchedules: AfterEvent runs after the
+// handler, so events the handler scheduled are already queued.
+func TestAfterEventSeesFollowupSchedules(t *testing.T) {
+	e := NewEngine()
+	pending := -1
+	e.AfterEvent = func(at Time, kind EventKind, arg int64) {
+		if pending == -1 {
+			pending = e.Pending()
+		}
+	}
+	e.Schedule(1, "parent", func(e *Engine) {
+		e.Schedule(5, "child", func(*Engine) {})
+	})
+	e.Run()
+	if pending != 1 {
+		t.Fatalf("AfterEvent saw %d pending events after parent, want 1 (the child)", pending)
+	}
+}

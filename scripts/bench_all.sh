@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_all.sh — regenerate BENCH_all.json, the machine-fingerprinted
+# baseline of the bench-regression gate (DESIGN.md §11).
+#
+# cmd/mlcr-perf runs every benchmark tier in-process — simcore (the
+# million-invocation simulator core), hotpath (per-decision
+# micro-benchmarks) and runner (the parallel harness sweep) — and
+# records ns/op, allocs/op, invocations/sec and peak RSS per entry.
+# The previous report's numbers are carried into the history array
+# (capped) when it came from this machine, so the committed file keeps
+# a short trend line across regenerations.
+#
+# TIERS narrows the run (e.g. TIERS=simcore,hotpath); QUICK=1 runs the
+# smoke-test scale used by `make bench-check`; INVOCATIONS overrides
+# the simcore trace size (default 1000000).
+#
+# Usage: sh scripts/bench_all.sh   (or `make bench-all`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_all.json
+ARGS="-out $OUT -baseline $OUT"
+[ -n "${TIERS:-}" ] && ARGS="$ARGS -tiers $TIERS"
+[ "${QUICK:-}" = "1" ] && ARGS="$ARGS -quick"
+[ -n "${INVOCATIONS:-}" ] && ARGS="$ARGS -n $INVOCATIONS"
+
+go run ./cmd/mlcr-perf $ARGS
+go run ./cmd/mlcr-perf -validate "$OUT"

@@ -35,4 +35,13 @@ fi
 echo "== BenchmarkSimCore smoke (1 invocation) =="
 go test -run '^$' -bench '^BenchmarkSimCore$' -benchtime 1x -count 1 .
 
+echo "== bench-regression gate (BENCH_all.json schema + quick thresholds) =="
+if [ -f BENCH_all.json ]; then
+    go run ./cmd/mlcr-perf -validate BENCH_all.json
+    go run ./cmd/mlcr-perf -check -baseline BENCH_all.json -n 200000
+else
+    echo "no BENCH_all.json baseline; skipping threshold check (run make bench-all)"
+    go run ./cmd/mlcr-perf -quick -tiers hotpath > /dev/null
+fi
+
 echo "check: all green"
