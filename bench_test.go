@@ -20,6 +20,7 @@ import (
 	"mlcr/internal/container"
 	"mlcr/internal/core"
 	"mlcr/internal/drl"
+	"mlcr/internal/evict"
 	"mlcr/internal/experiments"
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/image"
@@ -135,7 +136,7 @@ func setupInference() {
 	feat := &drl.Featurizer{Slots: inferSched.Config().Slots, NormMB: loose}
 	captured := false
 	spy := spyScheduler{feat: feat, out: &inferState, captured: &captured}
-	p := platform.New(platform.Config{PoolCapacityMB: loose, Evictor: pool.LRU{}}, spy)
+	p := platform.New(platform.Config{PoolCapacityMB: loose, Evictor: evict.NewLRU()}, spy)
 	p.Run(w)
 	if !captured {
 		panic("bench: no decision state captured")
@@ -263,7 +264,7 @@ func BenchmarkJaccard(b *testing.B) {
 
 func BenchmarkPoolAddTake(b *testing.B) {
 	f := fstartbench.ByID(fstartbench.Functions(), 5)
-	p := pool.New(1<<30, pool.LRU{})
+	p := pool.New(1<<30, evict.NewLRU())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inv := &workload.Invocation{Fn: f, Exec: f.Exec}
@@ -282,7 +283,7 @@ func BenchmarkFeaturize(b *testing.B) {
 	w := fstartbench.Build(fstartbench.Uniform, 3, fstartbench.Options{Count: 40})
 	loose := experiments.CalibrateLoose(w)
 	cap := envCapture{feat: feat}
-	p := platform.New(platform.Config{PoolCapacityMB: loose, Evictor: pool.LRU{}}, &cap)
+	p := platform.New(platform.Config{PoolCapacityMB: loose, Evictor: evict.NewLRU()}, &cap)
 	p.Run(w)
 	if cap.inv == nil {
 		b.Fatal("no decision point captured")

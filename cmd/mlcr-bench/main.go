@@ -8,6 +8,8 @@
 //	mlcr-bench -fig 8 -repeats 3        # overall evaluation
 //	mlcr-bench -fig 11a -episodes 48    # similarity panel, longer training
 //	mlcr-bench -fig 8 -csv out.csv      # also emit CSV
+//	mlcr-bench -fig 8 -evictor lfu      # rerun fig 8 under LFU eviction
+//	mlcr-bench -fig grid                # scheduler × evictor grid
 package main
 
 import (
@@ -17,20 +19,31 @@ import (
 	"strings"
 	"time"
 
+	"mlcr/internal/evict"
 	"mlcr/internal/experiments"
+	"mlcr/internal/fstartbench"
 	"mlcr/internal/report"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 8, 9, 10, 11a, 11b, 11c, overhead, ablation, cache, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 8, 9, 10, 11a, 11b, 11c, overhead, ablation, cache, grid, all")
 	seed := flag.Int64("seed", 1, "base random seed")
 	repeats := flag.Int("repeats", 0, "workload seeds per data point (0 = default 3)")
 	episodes := flag.Int("episodes", 0, "MLCR training episodes (0 = default 36)")
 	parallel := flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+	evictorName := flag.String("evictor", "",
+		"override eviction for figures 8 and 11: "+strings.Join(evict.Names(), ", "))
 	csvPath := flag.String("csv", "", "also write the table(s) as CSV to this file")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Repeats: *repeats, Episodes: *episodes, Parallelism: *parallel}
+	if *evictorName != "" {
+		if _, err := evict.New(*evictorName, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "mlcr-bench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	opts := experiments.Options{Seed: *seed, Repeats: *repeats, Episodes: *episodes,
+		Parallelism: *parallel, Evictor: *evictorName}
 
 	var tables []*report.Table
 	run := func(name string, f func() *report.Table) {
@@ -77,6 +90,15 @@ func main() {
 	}
 	if want("cache") {
 		run("cache", func() *report.Table { return experiments.CacheStudy(opts).Table() })
+	}
+	// The scheduler × evictor grid is opt-in (-fig grid): it adds 40+
+	// cells and is a zoo-wide sweep rather than a paper figure.
+	if *fig == "grid" {
+		run("grid", func() *report.Table {
+			w := fstartbench.BuildOverall(*seed, fstartbench.OverallOptions{})
+			poolMB := experiments.CalibrateLoose(w) * 0.5
+			return experiments.EvictionGrid(w, poolMB, nil, nil, opts).Table()
+		})
 	}
 
 	if len(tables) == 0 {

@@ -8,6 +8,8 @@
 //	mlcr-sim -workload Overall -policy MLCR -episodes 36
 //	mlcr-sim -workload LO-Sim -policy MLCR -model mlcr.gob
 //	mlcr-sim -workload Overall -policy all -parallel 8
+//	mlcr-sim -workload Peak -policy Greedy-Match -evictor lfu
+//	mlcr-sim -workload Uniform -evictor all -count 200
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"mlcr/internal/evict"
 	"mlcr/internal/experiments"
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/metrics"
@@ -33,7 +36,11 @@ func main() {
 		"policy: LRU, FaasCache, KeepAlive, Greedy-Match, Cost-Greedy, MLCR, or 'all' for a comparison table")
 	parallel := flag.Int("parallel", 0,
 		"concurrent simulation runs for -policy all (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+	evictorName := flag.String("evictor", "",
+		"override the policy's eviction strategy: "+strings.Join(evict.Names(), ", ")+
+			"; 'all' runs the scheduler × evictor grid")
 	poolFrac := flag.Float64("pool", 0.5, "warm pool size as a fraction of the calibrated Loose size")
+	count := flag.Int("count", 0, "invocation count for generated workloads (0 = workload default)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	episodes := flag.Int("episodes", 0, "MLCR training episodes (MLCR policy only; 0 = default)")
 	modelPath := flag.String("model", "", "load a pre-trained MLCR model instead of training")
@@ -56,9 +63,9 @@ func main() {
 			fatal(err)
 		}
 	case *wname == fstartbench.Overall:
-		w = fstartbench.BuildOverall(*seed, fstartbench.OverallOptions{})
+		w = fstartbench.BuildOverall(*seed, fstartbench.OverallOptions{Count: *count})
 	default:
-		w = fstartbench.Build(*wname, *seed, fstartbench.Options{})
+		w = fstartbench.Build(*wname, *seed, fstartbench.Options{Count: *count})
 	}
 	loose := experiments.CalibrateLoose(w)
 	poolMB := loose * *poolFrac
@@ -79,12 +86,30 @@ func main() {
 		}
 	}
 
+	if *evictorName != "" && *evictorName != "all" {
+		if _, err := evict.New(*evictorName, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "mlcr-sim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *evictorName == "all" {
+		if o != nil {
+			fmt.Fprintln(os.Stderr, "mlcr-sim: observability outputs need a single run, not -evictor all")
+			os.Exit(2)
+		}
+		opts := experiments.Options{Seed: *seed, Parallelism: *parallel}
+		grid := experiments.EvictionGrid(w, poolMB, nil, nil, opts)
+		grid.Table().Render(os.Stdout)
+		return
+	}
+
 	if *policyName == "all" {
 		if o != nil {
 			fmt.Fprintln(os.Stderr, "mlcr-sim: observability outputs need a single policy, not -policy all")
 			os.Exit(2)
 		}
-		compareAll(w, loose, poolMB, *poolFrac, *seed, *episodes, *parallel)
+		compareAll(w, loose, poolMB, *poolFrac, *seed, *episodes, *parallel, *evictorName)
 		return
 	}
 
@@ -103,7 +128,8 @@ func main() {
 			}
 			f.Close()
 		}
-		res = experiments.RunObserved(experiments.MLCRSetup(sched), w, poolMB, o)
+		setup := experiments.WithEvictor([]experiments.Setup{experiments.MLCRSetup(sched)}, *evictorName, *seed)[0]
+		res = experiments.RunObserved(setup, w, poolMB, o)
 	default:
 		var setup *experiments.Setup
 		for _, s := range append(experiments.Baselines(), experiments.CostGreedySetup()) {
@@ -117,7 +143,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mlcr-sim: unknown policy %q\n", *policyName)
 			os.Exit(2)
 		}
-		res = experiments.RunObserved(*setup, w, poolMB, o)
+		res = experiments.RunObserved(experiments.WithEvictor([]experiments.Setup{*setup}, *evictorName, *seed)[0], w, poolMB, o)
 	}
 
 	if *traceOut != "" {
@@ -171,14 +197,20 @@ func main() {
 
 // compareAll evaluates every policy on the workload concurrently and
 // prints one comparison table (the -policy all mode).
-func compareAll(w workload.Workload, loose, poolMB, poolFrac float64, seed int64, episodes, parallel int) {
+func compareAll(w workload.Workload, loose, poolMB, poolFrac float64, seed int64, episodes, parallel int, evictor string) {
 	opts := experiments.Options{Seed: seed, Episodes: episodes, Parallelism: parallel}
 	trained := experiments.TrainMLCR(w, loose, []float64{poolFrac}, opts)
 	setups := append(experiments.Baselines(), experiments.CostGreedySetup(), experiments.MLCRSetup(trained))
+	setups = experiments.WithEvictor(setups, evictor, seed)
+
 	results := experiments.RunAll(setups, w, poolMB, opts)
 
+	title := fmt.Sprintf("all policies on %s (pool %.0f MB = %.0f%% of Loose %.0f MB)", w.Name, poolMB, poolFrac*100, loose)
+	if evictor != "" {
+		title = fmt.Sprintf("all policies on %s, evictor %s (pool %.0f MB = %.0f%% of Loose %.0f MB)", w.Name, evictor, poolMB, poolFrac*100, loose)
+	}
 	t := &report.Table{
-		Title:  fmt.Sprintf("all policies on %s (pool %.0f MB = %.0f%% of Loose %.0f MB)", w.Name, poolMB, poolFrac*100, loose),
+		Title:  title,
 		Header: []string{"policy", "total startup", "avg startup", "p99 startup", "cold starts", "evictions"},
 	}
 	for i, s := range setups {

@@ -13,6 +13,7 @@ import (
 
 	"mlcr/internal/container"
 	"mlcr/internal/core"
+	"mlcr/internal/evict"
 	"mlcr/internal/experiments"
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/platform"
@@ -64,7 +65,7 @@ func main() {
 	setups := append(experiments.Baselines(),
 		experiments.CostGreedySetup(),
 		experiments.Setup{Name: "Reserve-Deep", New: func() (platform.Scheduler, pool.Evictor) {
-			return reserveDeep{}, pool.LRU{}
+			return reserveDeep{}, evict.NewLRU()
 		}},
 	)
 	results := experiments.RunAll(setups, w, loose*0.5, experiments.Options{})

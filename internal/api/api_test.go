@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"mlcr/internal/evict"
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/platform"
 	"mlcr/internal/policy"
@@ -19,7 +20,7 @@ func newServer(t *testing.T) *httptest.Server {
 		Functions:      fstartbench.Functions(),
 		PoolCapacityMB: 4096,
 		NewScheduler:   func() platform.Scheduler { return policy.NewGreedyMatch() },
-		NewEvictor:     func() pool.Evictor { return pool.LRU{} },
+		NewEvictor:     func() pool.Evictor { return evict.NewLRU() },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"mlcr/internal/evict"
 	"mlcr/internal/obs/perf"
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
@@ -58,9 +59,18 @@ type Config struct {
 	// return an instance no other worker uses; a trained MLCR scheduler
 	// is distributed by cloning it per worker.
 	NewScheduler func(worker int) platform.Scheduler
-	// NewEvictor builds one pool evictor per worker; nil = LRU. The same
-	// concurrency contract as NewScheduler applies.
+	// NewEvictor builds one pool evictor per worker. The same concurrency
+	// contract as NewScheduler applies. When nil, Evictor (below) names
+	// the registry policy built per worker; when that is also empty the
+	// workers default to LRU.
 	NewEvictor func(worker int) pool.Evictor
+	// Evictor names a registered eviction policy (see evict.Names())
+	// applied to every worker when NewEvictor is nil. Each worker gets a
+	// fresh instance seeded EvictorSeed+worker so randomized policies
+	// stay independent yet reproducible.
+	Evictor string
+	// EvictorSeed seeds per-worker policy instances built via Evictor.
+	EvictorSeed int64
 	// Parallelism bounds concurrently simulated workers: <=0 means
 	// GOMAXPROCS, 1 forces sequential. Workers share nothing, so the
 	// result is bit-identical at any setting.
@@ -113,6 +123,15 @@ func Run(cfg Config, w workload.Workload) Result {
 	}
 	if cfg.NewScheduler == nil {
 		panic("cluster: NewScheduler required")
+	}
+	if cfg.NewEvictor == nil && cfg.Evictor != "" {
+		name, seed := cfg.Evictor, cfg.EvictorSeed
+		if _, err := evict.New(name, seed); err != nil {
+			panic("cluster: " + err.Error())
+		}
+		cfg.NewEvictor = func(worker int) pool.Evictor {
+			return evict.MustNew(name, seed+int64(worker))
+		}
 	}
 	perPool := cfg.PoolCapacityMB
 	if perPool > 0 {

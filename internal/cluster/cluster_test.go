@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mlcr/internal/evict"
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/platform"
 	"mlcr/internal/policy"
@@ -18,7 +19,7 @@ func mkCfg(workers int, routing Routing, poolMB float64) Config {
 		PoolCapacityMB: poolMB,
 		Routing:        routing,
 		NewScheduler:   func(int) platform.Scheduler { return policy.NewGreedyMatch() },
-		NewEvictor:     func(int) pool.Evictor { return pool.LRU{} },
+		NewEvictor:     func(int) pool.Evictor { return evict.NewLRU() },
 	}
 }
 
@@ -219,4 +220,48 @@ func TestRoutingString(t *testing.T) {
 			t.Errorf("%d = %q, want %q", int(r), got, want)
 		}
 	}
+}
+
+func TestNamedEvictorConfig(t *testing.T) {
+	// Naming a registry policy must behave exactly like supplying an
+	// equivalent NewEvictor factory.
+	w := bench(90)
+	named := mkCfg(3, RoundRobin, 3000)
+	named.NewEvictor = nil
+	named.Evictor = "lfu"
+	named.EvictorSeed = 7
+	manual := mkCfg(3, RoundRobin, 3000)
+	manual.NewEvictor = func(worker int) pool.Evictor { return evict.MustNew("lfu", 7+int64(worker)) }
+	a := Run(named, w)
+	b := Run(manual, w)
+	for i := range a.PerWorker {
+		if runner.Fingerprint(a.PerWorker[i]) != runner.Fingerprint(b.PerWorker[i]) {
+			t.Fatalf("worker %d: named-evictor run diverged from factory run", i)
+		}
+	}
+
+	// Per-worker seeding: each worker's random policy draws from its own
+	// stream, and the whole cluster run is deterministic.
+	rnd := mkCfg(3, RoundRobin, 1500)
+	rnd.NewEvictor = nil
+	rnd.Evictor = "random"
+	r1 := Run(rnd, w)
+	r2 := Run(rnd, w)
+	for i := range r1.PerWorker {
+		if runner.Fingerprint(r1.PerWorker[i]) != runner.Fingerprint(r2.PerWorker[i]) {
+			t.Fatalf("worker %d: random evictor not reproducible across runs", i)
+		}
+	}
+}
+
+func TestUnknownEvictorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown Evictor name did not panic")
+		}
+	}()
+	cfg := mkCfg(2, RoundRobin, 1000)
+	cfg.NewEvictor = nil
+	cfg.Evictor = "nope"
+	Run(cfg, bench(10))
 }

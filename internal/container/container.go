@@ -65,6 +65,12 @@ type Container struct {
 	// container-creating one.
 	UseCount int
 
+	// PolicyCookie is a bookkeeping slot owned by the pool's eviction
+	// policy while the container is pooled (typically the container's
+	// index in the policy's heap or ring, enabling allocation-free O(1)
+	// removal). Its value is meaningless outside the owning policy.
+	PolicyCookie int
+
 	State State
 }
 

@@ -6,10 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"mlcr/internal/evict"
 	"mlcr/internal/image"
 	"mlcr/internal/nn"
 	"mlcr/internal/platform"
-	"mlcr/internal/pool"
 	"mlcr/internal/workload"
 )
 
@@ -55,7 +55,7 @@ func buildState(t *testing.T, f *Featurizer, warm []*workload.Function, probe *w
 	var st State
 	captured := false
 	sched := captureScheduler{probeSeq: len(invs) - 1, f: f, out: &st, captured: &captured}
-	platform.New(platform.Config{PoolCapacityMB: 10000, Evictor: pool.LRU{}}, sched).Run(w)
+	platform.New(platform.Config{PoolCapacityMB: 10000, Evictor: evict.NewLRU()}, sched).Run(w)
 	if !captured {
 		t.Fatal("probe state not captured")
 	}

@@ -5,9 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"mlcr/internal/evict"
 	"mlcr/internal/nn"
 	"mlcr/internal/platform"
-	"mlcr/internal/pool"
 	"mlcr/internal/workload"
 )
 
@@ -156,7 +156,7 @@ func TestFeaturizerBuildZeroAllocs(t *testing.T) {
 	}
 	var env platform.Env
 	var inv *workload.Invocation
-	platform.New(platform.Config{PoolCapacityMB: 10000, Evictor: pool.LRU{}},
+	platform.New(platform.Config{PoolCapacityMB: 10000, Evictor: evict.NewLRU()},
 		envCaptureScheduler{env: &env, inv: &inv}).
 		Run(workload.Workload{Name: "t", Functions: fns, Invocations: invs})
 	if inv == nil {

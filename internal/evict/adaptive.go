@@ -1,19 +1,10 @@
-package pool
+package evict
 
 import (
 	"time"
 
 	"mlcr/internal/container"
 )
-
-// PerContainerTTL is an optional Evictor refinement: policies that
-// implement it expire each container on its own schedule instead of the
-// single global TTL.
-type PerContainerTTL interface {
-	// TTLFor returns the idle lifetime for one container; zero means
-	// unlimited.
-	TTLFor(c *container.Container) time.Duration
-}
 
 // AdaptiveKeepAlive keeps each function's containers warm for a multiple
 // of that function's observed inter-arrival gap — the adaptive keep-alive
@@ -34,7 +25,7 @@ type AdaptiveKeepAlive struct {
 	gapEMA  map[int]time.Duration // function ID -> smoothed gap
 }
 
-// NewAdaptiveKeepAlive returns an initialized adaptive evictor.
+// NewAdaptiveKeepAlive returns an initialized adaptive policy.
 func NewAdaptiveKeepAlive() *AdaptiveKeepAlive {
 	return &AdaptiveKeepAlive{
 		Multiplier: 3,
@@ -46,14 +37,14 @@ func NewAdaptiveKeepAlive() *AdaptiveKeepAlive {
 	}
 }
 
-// Name implements Evictor.
+// Name implements Policy.
 func (a *AdaptiveKeepAlive) Name() string { return "adaptive-keepalive" }
 
-// Admit implements Evictor: like KeepAlive, a full pool rejects new
+// Admit implements Policy: like KeepAlive, a full pool rejects new
 // containers rather than displacing warm ones.
 func (a *AdaptiveKeepAlive) Admit() bool { return false }
 
-// TTL implements Evictor; the global fallback is MaxTTL (per-container
+// TTL implements Policy; the global fallback is MaxTTL (per-container
 // values from TTLFor take precedence in the pool).
 func (a *AdaptiveKeepAlive) TTL() time.Duration { return a.MaxTTL }
 
@@ -73,11 +64,6 @@ func (a *AdaptiveKeepAlive) TTLFor(c *container.Container) time.Duration {
 	return ttl
 }
 
-// Victim implements Evictor; unreachable because Admit is false.
-func (a *AdaptiveKeepAlive) Victim([]*container.Container, time.Duration) *container.Container {
-	return nil
-}
-
 // observe updates the function's inter-arrival statistics.
 func (a *AdaptiveKeepAlive) observe(fnID int, now time.Duration) {
 	if last, ok := a.lastUse[fnID]; ok && now > last {
@@ -91,15 +77,21 @@ func (a *AdaptiveKeepAlive) observe(fnID int, now time.Duration) {
 	a.lastUse[fnID] = now
 }
 
-// OnAdd implements Evictor.
+// OnAdd implements Policy.
 func (a *AdaptiveKeepAlive) OnAdd(c *container.Container, _ time.Duration, now time.Duration) {
 	a.observe(c.FnID, now)
 }
 
-// OnUse implements Evictor.
+// OnUse implements Policy.
 func (a *AdaptiveKeepAlive) OnUse(c *container.Container, now time.Duration) {
 	a.observe(c.FnID, now)
 }
 
-// OnEvict implements Evictor (stateless on eviction).
-func (a *AdaptiveKeepAlive) OnEvict(*container.Container) {}
+// OnRemove implements Policy (stateless on removal).
+func (a *AdaptiveKeepAlive) OnRemove(*container.Container, string) {}
+
+// OnTick implements Policy.
+func (a *AdaptiveKeepAlive) OnTick(time.Duration) {}
+
+// PickVictim implements Policy; unreachable because Admit is false.
+func (a *AdaptiveKeepAlive) PickVictim(time.Duration) *container.Container { return nil }

@@ -1,12 +1,15 @@
-package pool
+package evict_test
 
 import (
 	"testing"
 	"time"
+
+	"mlcr/internal/evict"
+	"mlcr/internal/pool"
 )
 
 func TestAdaptiveTTLTracksInterArrival(t *testing.T) {
-	a := NewAdaptiveKeepAlive()
+	a := evict.NewAdaptiveKeepAlive()
 	f := fn(1, 128)
 	// Observe regular 10s gaps for function 1.
 	for i := 0; i < 6; i++ {
@@ -22,7 +25,7 @@ func TestAdaptiveTTLTracksInterArrival(t *testing.T) {
 }
 
 func TestAdaptiveTTLClamped(t *testing.T) {
-	a := NewAdaptiveKeepAlive()
+	a := evict.NewAdaptiveKeepAlive()
 	fast := fn(1, 128)
 	slow := fn(2, 128)
 	for i := 0; i < 5; i++ {
@@ -38,20 +41,20 @@ func TestAdaptiveTTLClamped(t *testing.T) {
 }
 
 func TestAdaptiveUnknownFunctionGenerous(t *testing.T) {
-	a := NewAdaptiveKeepAlive()
+	a := evict.NewAdaptiveKeepAlive()
 	if got := a.TTLFor(idleContainer(1, fn(9, 128), 0)); got != a.MaxTTL {
 		t.Fatalf("unknown function TTL = %v, want MaxTTL", got)
 	}
 }
 
 func TestPoolUsesPerContainerTTL(t *testing.T) {
-	a := NewAdaptiveKeepAlive()
+	a := evict.NewAdaptiveKeepAlive()
 	a.MinTTL = 5 * time.Second
-	p := New(10000, a)
+	p := pool.New(10000, a)
 	fast := fn(1, 128)
-	// Teach the evictor a 2s inter-arrival gap.
+	// Teach the evictor a 2s inter-arrival gap via its public events.
 	for i := 0; i < 5; i++ {
-		a.observe(fast.ID, time.Duration(i)*2*time.Second)
+		a.OnUse(idleContainer(50+i, fast, 0), time.Duration(i)*2*time.Second)
 	}
 	c := idleContainer(1, fast, 10*time.Second)
 	p.Add(c, time.Second, c.IdleSince)
@@ -69,8 +72,8 @@ func TestPoolUsesPerContainerTTL(t *testing.T) {
 }
 
 func TestAdaptiveRejectsWhenFull(t *testing.T) {
-	a := NewAdaptiveKeepAlive()
-	p := New(128, a)
+	a := evict.NewAdaptiveKeepAlive()
+	p := pool.New(128, a)
 	f := fn(1, 128)
 	p.Add(idleContainer(1, f, 0), 0, time.Second)
 	c := idleContainer(2, f, time.Second)

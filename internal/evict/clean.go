@@ -1,0 +1,56 @@
+package evict
+
+import (
+	"time"
+
+	"mlcr/internal/container"
+	"mlcr/internal/image"
+)
+
+// CleanFirst is the clean/dirty-aware policy: it evicts the container
+// whose function-specific state is cheapest to rebuild. A container
+// whose runtime-level (L3) volume pulls and installs in negligible time
+// carries no meaningful function state — killing it loses little,
+// because any L2 sibling re-warms it by swapping volumes (Table I). A
+// container with an expensive L3 volume is "dirty" with valuable state
+// and is kept longest. Ties on re-warm cost (e.g. same function, or
+// uniformly cheap volumes) break by (LastUsedAt, ID).
+type CleanFirst struct {
+	h vheap
+}
+
+// NewCleanFirst returns an initialized clean-first policy.
+func NewCleanFirst() *CleanFirst { return &CleanFirst{} }
+
+// Name implements Policy.
+func (*CleanFirst) Name() string { return "clean" }
+
+// Admit implements Policy.
+func (*CleanFirst) Admit() bool { return true }
+
+// TTL implements Policy: no idle-time limit.
+func (*CleanFirst) TTL() time.Duration { return 0 }
+
+// rewarmSeconds is the L3 (runtime-level volume) pull + install time of
+// the container's current image: what an L2 match pays to recreate the
+// container's function-specific state after eviction.
+func rewarmSeconds(c *container.Container) float64 {
+	return (c.Image.PullTime(image.Runtime) + c.Image.InstallTime(image.Runtime)).Seconds()
+}
+
+// OnAdd implements Policy: keys by (re-warm cost, LastUsedAt, ID).
+func (p *CleanFirst) OnAdd(c *container.Container, _ time.Duration, _ time.Duration) {
+	p.h.push(c, rewarmSeconds(c), int64(c.LastUsedAt), int64(c.ID))
+}
+
+// OnUse implements Policy.
+func (p *CleanFirst) OnUse(c *container.Container, _ time.Duration) { p.h.remove(c) }
+
+// OnRemove implements Policy.
+func (p *CleanFirst) OnRemove(c *container.Container, _ string) { p.h.remove(c) }
+
+// OnTick implements Policy (time-independent).
+func (*CleanFirst) OnTick(time.Duration) {}
+
+// PickVictim implements Policy.
+func (p *CleanFirst) PickVictim(time.Duration) *container.Container { return p.h.min() }

@@ -1,0 +1,52 @@
+package evict
+
+import (
+	"time"
+
+	"mlcr/internal/container"
+)
+
+// CostDensity is the hybrid cost policy: it evicts the container with
+// the lowest saved-startup-seconds per megabyte — the same
+// cost-per-resource reasoning CostGreedy applies to scheduling, turned
+// toward eviction. startupCost (what the warm container saved its last
+// invocation, which is what a cold replacement would pay again) is the
+// value of keeping it; MemoryMB is what it charges the pool. Unlike
+// FaasCache there is no frequency term or aging clock, making it the
+// pure cost-density member of the zoo. Ties break by (LastUsedAt, ID).
+type CostDensity struct {
+	h vheap
+}
+
+// NewCostDensity returns an initialized cost-density policy.
+func NewCostDensity() *CostDensity { return &CostDensity{} }
+
+// Name implements Policy.
+func (*CostDensity) Name() string { return "cost" }
+
+// Admit implements Policy.
+func (*CostDensity) Admit() bool { return true }
+
+// TTL implements Policy: no idle-time limit.
+func (*CostDensity) TTL() time.Duration { return 0 }
+
+// OnAdd implements Policy: keys by (savedSeconds/MB, LastUsedAt, ID).
+func (p *CostDensity) OnAdd(c *container.Container, startupCost time.Duration, _ time.Duration) {
+	size := c.MemoryMB
+	if size <= 0 {
+		size = 1
+	}
+	p.h.push(c, startupCost.Seconds()/size, int64(c.LastUsedAt), int64(c.ID))
+}
+
+// OnUse implements Policy.
+func (p *CostDensity) OnUse(c *container.Container, _ time.Duration) { p.h.remove(c) }
+
+// OnRemove implements Policy.
+func (p *CostDensity) OnRemove(c *container.Container, _ string) { p.h.remove(c) }
+
+// OnTick implements Policy (time-independent).
+func (*CostDensity) OnTick(time.Duration) {}
+
+// PickVictim implements Policy.
+func (p *CostDensity) PickVictim(time.Duration) *container.Container { return p.h.min() }

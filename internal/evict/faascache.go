@@ -1,0 +1,89 @@
+package evict
+
+import (
+	"time"
+
+	"mlcr/internal/container"
+)
+
+// FaasCache implements the greedy-dual keep-alive policy of Fuerst &
+// Sharma (ASPLOS'21): each warm container gets priority
+//
+//	priority = clock + frequency × cost / size
+//
+// where frequency counts invocations of the container's function, cost
+// is the startup latency the warm container saves, and size is its
+// memory. PickVictim returns the minimum-priority container (ties on
+// lower ID) and raises the global clock to that priority, aging the
+// remaining entries. Priorities live in the victim heap; only the
+// per-function frequency and per-container cost survive as maps, both
+// touched O(1) per event.
+type FaasCache struct {
+	clock float64
+	freq  map[int]int     // function ID -> invocation count
+	cost  map[int]float64 // container ID -> startup cost (seconds)
+	h     vheap
+}
+
+// NewFaasCache returns an initialized FaasCache policy.
+func NewFaasCache() *FaasCache {
+	return &FaasCache{freq: make(map[int]int), cost: make(map[int]float64)}
+}
+
+// Name implements Policy.
+func (*FaasCache) Name() string { return "faascache" }
+
+// Admit implements Policy.
+func (*FaasCache) Admit() bool { return true }
+
+// TTL implements Policy: greedy-dual has no fixed TTL.
+func (*FaasCache) TTL() time.Duration { return 0 }
+
+func (f *FaasCache) priority(c *container.Container, cost float64) float64 {
+	size := c.MemoryMB
+	if size <= 0 {
+		size = 1
+	}
+	return f.clock + float64(f.freq[c.FnID])*cost/size
+}
+
+// OnAdd implements Policy: computes the container's priority from the
+// current clock, its function's observed frequency, the startup cost it
+// saves and its size, then files it in the victim heap keyed
+// (priority, ID).
+func (f *FaasCache) OnAdd(c *container.Container, startupCost time.Duration, _ time.Duration) {
+	f.freq[c.FnID]++
+	cost := startupCost.Seconds()
+	f.cost[c.ID] = cost
+	f.h.push(c, f.priority(c, cost), int64(c.ID), 0)
+}
+
+// OnUse implements Policy: the function's frequency rises; the
+// container leaves the heap (its priority is recomputed on re-add).
+func (f *FaasCache) OnUse(c *container.Container, _ time.Duration) {
+	f.freq[c.FnID]++
+	f.h.remove(c)
+}
+
+// OnRemove implements Policy: drops bookkeeping for the container.
+func (f *FaasCache) OnRemove(c *container.Container, _ string) {
+	f.h.remove(c)
+	delete(f.cost, c.ID)
+}
+
+// OnTick implements Policy (clock advances only on eviction).
+func (*FaasCache) OnTick(time.Duration) {}
+
+// PickVictim implements Policy: the minimum-(priority, ID) container;
+// the clock advances to its priority (the greedy-dual aging step).
+func (f *FaasCache) PickVictim(time.Duration) *container.Container {
+	if f.h.len() == 0 {
+		return nil
+	}
+	it := f.h.minItem()
+	f.clock = it.f
+	return it.c
+}
+
+// Clock exposes the greedy-dual aging clock for tests and reports.
+func (f *FaasCache) Clock() float64 { return f.clock }

@@ -1,0 +1,92 @@
+package evict
+
+import (
+	"time"
+
+	"mlcr/internal/container"
+)
+
+// FIFO evicts the container that entered the pool first, regardless of
+// reuse recency. Bookkeeping is a ring of arrival order with tombstones:
+// OnUse/OnRemove nil out the container's slot via its cookie (O(1)),
+// PickVictim skips tombstones from the head (amortized O(1) — each slot
+// is skipped at most once), and the live prefix is compacted in place
+// once tombstones outnumber live entries, so steady-state churn reuses
+// the backing array without allocating.
+type FIFO struct {
+	ring []*container.Container // arrival order; nil = tombstone
+	head int                    // first possibly-live slot
+	live int
+}
+
+// NewFIFO returns an initialized FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Policy.
+func (*FIFO) Name() string { return "fifo" }
+
+// Admit implements Policy.
+func (*FIFO) Admit() bool { return true }
+
+// TTL implements Policy: no idle-time limit.
+func (*FIFO) TTL() time.Duration { return 0 }
+
+// OnAdd implements Policy: appends to the ring tail.
+func (f *FIFO) OnAdd(c *container.Container, _ time.Duration, _ time.Duration) {
+	if len(f.ring) > 2*f.live && len(f.ring) >= 16 {
+		f.compact()
+	}
+	c.PolicyCookie = len(f.ring)
+	f.ring = append(f.ring, c)
+	f.live++
+}
+
+// compact squeezes tombstones out of the ring in place, renumbering the
+// survivors' cookies. Runs when tombstones outnumber live entries, so
+// its linear cost amortizes to O(1) per event.
+func (f *FIFO) compact() {
+	w := 0
+	for _, c := range f.ring {
+		if c == nil {
+			continue
+		}
+		f.ring[w] = c
+		c.PolicyCookie = w
+		w++
+	}
+	for i := w; i < len(f.ring); i++ {
+		f.ring[i] = nil
+	}
+	f.ring = f.ring[:w]
+	f.head = 0
+}
+
+// drop tombstones c's slot if it is still tracked.
+func (f *FIFO) drop(c *container.Container) {
+	i := c.PolicyCookie
+	if i < 0 || i >= len(f.ring) || f.ring[i] != c {
+		return
+	}
+	f.ring[i] = nil
+	f.live--
+}
+
+// OnUse implements Policy.
+func (f *FIFO) OnUse(c *container.Container, _ time.Duration) { f.drop(c) }
+
+// OnRemove implements Policy.
+func (f *FIFO) OnRemove(c *container.Container, _ string) { f.drop(c) }
+
+// OnTick implements Policy (time-independent).
+func (*FIFO) OnTick(time.Duration) {}
+
+// PickVictim implements Policy: the oldest live arrival.
+func (f *FIFO) PickVictim(time.Duration) *container.Container {
+	for f.head < len(f.ring) {
+		if c := f.ring[f.head]; c != nil {
+			return c
+		}
+		f.head++
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package evict_test
+
+import (
+	"time"
+
+	"mlcr/internal/container"
+	"mlcr/internal/image"
+	"mlcr/internal/workload"
+)
+
+// fn builds a single-level test function of the given memory size.
+func fn(id int, mem float64) *workload.Function {
+	return &workload.Function{
+		ID: id, Name: "f",
+		Image: image.NewImage("img",
+			image.Package{Name: "alpine", Version: "1", Level: image.OS, SizeMB: 5, Pull: 50 * time.Millisecond}),
+		Create: 100 * time.Millisecond, Exec: time.Second, MemoryMB: mem,
+	}
+}
+
+// rtFn builds a function whose image carries a runtime-level volume
+// with the given pull time, for the clean/dirty-aware policy tests.
+func rtFn(id int, mem float64, rtPull time.Duration) *workload.Function {
+	return &workload.Function{
+		ID: id, Name: "f",
+		Image: image.NewImage("img",
+			image.Package{Name: "alpine", Version: "1", Level: image.OS, SizeMB: 5, Pull: 50 * time.Millisecond},
+			image.Package{Name: "vol" + string(rune('a'+id%26)), Version: "1", Level: image.Runtime, SizeMB: 5, Pull: rtPull}),
+		Create: 100 * time.Millisecond, Exec: time.Second, MemoryMB: mem,
+	}
+}
+
+// idleContainer builds an idle container with the given id/function/times.
+func idleContainer(id int, f *workload.Function, created time.Duration) *container.Container {
+	c, _ := container.NewCold(id, &workload.Invocation{Fn: f, Exec: f.Exec}, created)
+	c.Complete(c.BusyUntil)
+	return c
+}

@@ -1,0 +1,45 @@
+package evict
+
+import (
+	"time"
+
+	"mlcr/internal/container"
+)
+
+// KeepAlive keeps containers warm for a fixed duration (public clouds
+// use 5–10 minutes) and rejects keep-warm requests when the pool is
+// full. It is stateless: no bookkeeping, no victims.
+type KeepAlive struct {
+	// Alive is the keep-warm duration; zero falls back to
+	// DefaultKeepAlive (the paper uses 10 minutes).
+	Alive time.Duration
+}
+
+// Name implements Policy.
+func (KeepAlive) Name() string { return "keepalive" }
+
+// Admit implements Policy: a full pool rejects new containers.
+func (KeepAlive) Admit() bool { return false }
+
+// TTL implements Policy.
+func (k KeepAlive) TTL() time.Duration {
+	if k.Alive == 0 {
+		return DefaultKeepAlive
+	}
+	return k.Alive
+}
+
+// OnAdd implements Policy (stateless).
+func (KeepAlive) OnAdd(*container.Container, time.Duration, time.Duration) {}
+
+// OnUse implements Policy (stateless).
+func (KeepAlive) OnUse(*container.Container, time.Duration) {}
+
+// OnRemove implements Policy (stateless).
+func (KeepAlive) OnRemove(*container.Container, string) {}
+
+// OnTick implements Policy (stateless).
+func (KeepAlive) OnTick(time.Duration) {}
+
+// PickVictim implements Policy; unreachable because Admit is false.
+func (KeepAlive) PickVictim(time.Duration) *container.Container { return nil }

@@ -1,0 +1,47 @@
+package evict
+
+import (
+	"time"
+
+	"mlcr/internal/container"
+)
+
+// LFU evicts the least-frequently-used idle container: the one whose
+// UseCount — invocations served over its whole lifetime, counted by the
+// platform — is lowest at the moment it parked. Ties break by
+// (LastUsedAt, ID), the zoo-wide deterministic order.
+type LFU struct {
+	h vheap
+}
+
+// NewLFU returns an initialized LFU policy.
+func NewLFU() *LFU { return &LFU{} }
+
+// Name implements Policy.
+func (*LFU) Name() string { return "lfu" }
+
+// Admit implements Policy.
+func (*LFU) Admit() bool { return true }
+
+// TTL implements Policy: no idle-time limit.
+func (*LFU) TTL() time.Duration { return 0 }
+
+// OnAdd implements Policy: keys the container by
+// (UseCount, LastUsedAt, ID). UseCount is frozen while idle (it only
+// moves on reuse, which removes the container from the heap first), so
+// the key never goes stale.
+func (l *LFU) OnAdd(c *container.Container, _ time.Duration, _ time.Duration) {
+	l.h.push(c, float64(c.UseCount), int64(c.LastUsedAt), int64(c.ID))
+}
+
+// OnUse implements Policy.
+func (l *LFU) OnUse(c *container.Container, _ time.Duration) { l.h.remove(c) }
+
+// OnRemove implements Policy.
+func (l *LFU) OnRemove(c *container.Container, _ string) { l.h.remove(c) }
+
+// OnTick implements Policy (time-independent).
+func (*LFU) OnTick(time.Duration) {}
+
+// PickVictim implements Policy.
+func (l *LFU) PickVictim(time.Duration) *container.Container { return l.h.min() }

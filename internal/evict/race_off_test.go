@@ -1,0 +1,8 @@
+//go:build !race
+
+package evict_test
+
+// raceEnabled reports whether the race detector is active; allocation
+// guards are skipped under -race because instrumentation changes heap
+// behavior.
+const raceEnabled = false

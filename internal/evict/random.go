@@ -1,0 +1,71 @@
+package evict
+
+import (
+	"math/rand"
+	"time"
+
+	"mlcr/internal/container"
+)
+
+// Random evicts a uniformly random idle container — the classic
+// baseline that any informed policy must beat. The RNG is an injected
+// seeded *rand.Rand (never the global source), so runs are
+// reproducible and bit-identical at any parallelism; membership is a
+// dense slice with O(1) cookie-indexed swap-removal.
+type Random struct {
+	rng     *rand.Rand
+	members []*container.Container
+}
+
+// NewRandom returns a Random policy drawing from its own
+// deterministically seeded source.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Admit implements Policy.
+func (*Random) Admit() bool { return true }
+
+// TTL implements Policy: no idle-time limit.
+func (*Random) TTL() time.Duration { return 0 }
+
+// OnAdd implements Policy.
+func (r *Random) OnAdd(c *container.Container, _ time.Duration, _ time.Duration) {
+	c.PolicyCookie = len(r.members)
+	r.members = append(r.members, c)
+}
+
+// drop swap-removes c if still tracked.
+func (r *Random) drop(c *container.Container) {
+	i := c.PolicyCookie
+	if i < 0 || i >= len(r.members) || r.members[i] != c {
+		return
+	}
+	last := len(r.members) - 1
+	if i != last {
+		r.members[i] = r.members[last]
+		r.members[i].PolicyCookie = i
+	}
+	r.members[last] = nil
+	r.members = r.members[:last]
+}
+
+// OnUse implements Policy.
+func (r *Random) OnUse(c *container.Container, _ time.Duration) { r.drop(c) }
+
+// OnRemove implements Policy.
+func (r *Random) OnRemove(c *container.Container, _ string) { r.drop(c) }
+
+// OnTick implements Policy (time-independent).
+func (*Random) OnTick(time.Duration) {}
+
+// PickVictim implements Policy: one seeded draw per eviction.
+func (r *Random) PickVictim(time.Duration) *container.Container {
+	if len(r.members) == 0 {
+		return nil
+	}
+	return r.members[r.rng.Intn(len(r.members))]
+}

@@ -1,0 +1,80 @@
+package evict
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Constructor builds a fresh Policy instance. seed feeds policies with
+// RNG state (Random); deterministic policies ignore it. Constructors
+// must return independent instances — policies are stateful and never
+// shared across pools.
+type Constructor func(seed int64) Policy
+
+// registration pairs a registry name with its constructor. The table is
+// a sorted slice, not a map, so Names() and any future iteration are
+// deterministic without sorting at call sites.
+type registration struct {
+	name string
+	mk   Constructor
+}
+
+var registry []registration
+
+// Register adds a named policy constructor to the zoo. It panics on a
+// duplicate name; call from package init or test setup only.
+func Register(name string, mk Constructor) {
+	if name == "" || mk == nil {
+		panic("evict: Register with empty name or nil constructor")
+	}
+	i := sort.Search(len(registry), func(i int) bool { return registry[i].name >= name })
+	if i < len(registry) && registry[i].name == name {
+		panic(fmt.Sprintf("evict: duplicate policy %q", name))
+	}
+	registry = append(registry, registration{})
+	copy(registry[i+1:], registry[i:])
+	registry[i] = registration{name: name, mk: mk}
+}
+
+// New builds a fresh instance of the named policy, or an error naming
+// the known policies. Lookup is a binary search over the sorted table.
+func New(name string, seed int64) (Policy, error) {
+	i := sort.Search(len(registry), func(i int) bool { return registry[i].name >= name })
+	if i < len(registry) && registry[i].name == name {
+		return registry[i].mk(seed), nil
+	}
+	return nil, fmt.Errorf("evict: unknown policy %q (have %v)", name, Names())
+}
+
+// Names returns the registered policy names in sorted order. The slice
+// is fresh; callers may keep it.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.name
+	}
+	return out
+}
+
+// MustNew is New for statically known names; it panics on error.
+func MustNew(name string, seed int64) Policy {
+	p, err := New(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func init() {
+	Register("adaptive-keepalive", func(int64) Policy { return NewAdaptiveKeepAlive() })
+	Register("clean", func(int64) Policy { return NewCleanFirst() })
+	Register("cost", func(int64) Policy { return NewCostDensity() })
+	Register("faascache", func(int64) Policy { return NewFaasCache() })
+	Register("fifo", func(int64) Policy { return NewFIFO() })
+	Register("keepalive", func(int64) Policy { return KeepAlive{} })
+	Register("lfu", func(int64) Policy { return NewLFU() })
+	Register("lru", func(int64) Policy { return NewLRU() })
+	Register("random", func(seed int64) Policy { return NewRandom(seed) })
+	Register("size", func(int64) Policy { return NewSizeLargest() })
+	Register("ttl", func(int64) Policy { return NewTTL(0) })
+}

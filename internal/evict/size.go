@@ -1,0 +1,44 @@
+package evict
+
+import (
+	"time"
+
+	"mlcr/internal/container"
+)
+
+// SizeLargest evicts the largest idle container first: one eviction
+// frees the most capacity, so a full pool makes room with the fewest
+// kills. Ties on MemoryMB break by (LastUsedAt, ID).
+type SizeLargest struct {
+	h vheap
+}
+
+// NewSizeLargest returns an initialized largest-first policy.
+func NewSizeLargest() *SizeLargest { return &SizeLargest{} }
+
+// Name implements Policy.
+func (*SizeLargest) Name() string { return "size" }
+
+// Admit implements Policy.
+func (*SizeLargest) Admit() bool { return true }
+
+// TTL implements Policy: no idle-time limit.
+func (*SizeLargest) TTL() time.Duration { return 0 }
+
+// OnAdd implements Policy: keys by (-MemoryMB, LastUsedAt, ID) so the
+// min-heap root is the largest container.
+func (s *SizeLargest) OnAdd(c *container.Container, _ time.Duration, _ time.Duration) {
+	s.h.push(c, -c.MemoryMB, int64(c.LastUsedAt), int64(c.ID))
+}
+
+// OnUse implements Policy.
+func (s *SizeLargest) OnUse(c *container.Container, _ time.Duration) { s.h.remove(c) }
+
+// OnRemove implements Policy.
+func (s *SizeLargest) OnRemove(c *container.Container, _ string) { s.h.remove(c) }
+
+// OnTick implements Policy (time-independent).
+func (*SizeLargest) OnTick(time.Duration) {}
+
+// PickVictim implements Policy.
+func (s *SizeLargest) PickVictim(time.Duration) *container.Container { return s.h.min() }

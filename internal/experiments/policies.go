@@ -9,6 +9,7 @@ import (
 	"math"
 	"time"
 
+	"mlcr/internal/evict"
 	"mlcr/internal/mlcr"
 	"mlcr/internal/obs"
 	"mlcr/internal/platform"
@@ -81,6 +82,11 @@ type Options struct {
 	// (internal/runner): <=0 means GOMAXPROCS, 1 forces sequential.
 	// Results are bit-identical at any setting.
 	Parallelism int
+	// Evictor, when non-empty, overrides every setup's default eviction
+	// policy with the named one from the evict registry (see
+	// evict.Names), adding the eviction-policy axis to Fig8/Fig11 and
+	// the comparison tables.
+	Evictor string
 }
 
 // runnerOpts converts the experiment options into harness options.
@@ -118,6 +124,30 @@ func (o Options) WithDefaults() Options {
 		o.MLCR.DeviationMargin = 0.1
 	}
 	return o
+}
+
+// WithEvictor re-pairs each setup's scheduler with the named eviction
+// policy from the evict registry, keeping setup names (the policy axis
+// is reported separately). An empty name returns the setups unchanged;
+// an unknown one panics with the registry's name list. seed feeds
+// RNG-bearing policies (random); every run constructs its own policy
+// instance, so results stay bit-identical at any parallelism.
+func WithEvictor(setups []Setup, name string, seed int64) []Setup {
+	if name == "" {
+		return setups
+	}
+	if _, err := evict.New(name, seed); err != nil {
+		panic(err)
+	}
+	out := make([]Setup, len(setups))
+	for i, s := range setups {
+		mk := s.New
+		out[i] = Setup{Name: s.Name, New: func() (platform.Scheduler, pool.Evictor) {
+			sched, _ := mk()
+			return sched, evict.MustNew(name, seed)
+		}}
+	}
+	return out
 }
 
 // RunOnce replays a workload through a fresh platform with the given

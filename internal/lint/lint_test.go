@@ -141,6 +141,14 @@ func TestErrCheckFixture(t *testing.T) {
 	noDirectives(t, d)
 }
 
+// TestEvictScopeFixture proves the eviction-policy zoo sits inside the
+// deterministic scope: a policy reading the wall clock or the global
+// RNG is flagged when its file lives in mlcr/internal/evict.
+func TestEvictScopeFixture(t *testing.T) {
+	d, _ := checkFixture(t, "evictpolicy", "mlcr/internal/evict", []*lint.Analyzer{lint.Walltime, lint.DetRand})
+	noDirectives(t, d)
+}
+
 func TestNewImageFixture(t *testing.T) {
 	d, _ := checkFixture(t, "newimage", "mlcr/internal/cluster", []*lint.Analyzer{lint.NewImage})
 	noDirectives(t, d)
@@ -221,6 +229,7 @@ func TestIsDeterministic(t *testing.T) {
 		"mlcr/internal/pool":        true,
 		"mlcr/internal/cluster":     true,
 		"mlcr/internal/drl":         true,
+		"mlcr/internal/evict":       true,
 		"mlcr/internal/nn":          true,
 		"mlcr/internal/mlcr":        true,
 		"mlcr/internal/experiments": true,

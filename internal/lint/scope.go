@@ -19,6 +19,7 @@ var deterministicPkgs = map[string]bool{
 	"core":        true,
 	"dockerfile":  true,
 	"drl":         true,
+	"evict":       true,
 	"experiments": true,
 	"fstartbench": true,
 	"hub":         true,

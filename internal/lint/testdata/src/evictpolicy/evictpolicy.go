@@ -1,0 +1,30 @@
+// Package evictpolicy is the eviction-zoo scope fixture: a plausible
+// but non-deterministic eviction policy of the kind the evict package
+// must never contain. Loaded as mlcr/internal/evict, its wall-clock
+// TTL and unseeded victim choice must both be caught — a policy that
+// ages containers against time.Now or rolls global randomness would
+// break the bit-identical -parallel contract for every scheduler
+// paired with it.
+package evictpolicy
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClockTTL ages idle containers against the host clock instead of
+// the simulated one.
+type WallClockTTL struct {
+	Deadline time.Time
+}
+
+// Expired compares simulated state to real time — the exact bug class
+// the deterministic scope exists to keep out of the zoo.
+func (p *WallClockTTL) Expired() bool {
+	return time.Now().After(p.Deadline) // want `time\.Now reads the wall clock`
+}
+
+// PickVictim rolls the global RNG, so victim choice differs run to run.
+func (p *WallClockTTL) PickVictim(n int) int {
+	return rand.Intn(n) // want `rand\.Intn uses the process-global generator`
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mlcr/internal/evict"
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
 	"mlcr/internal/workload"
@@ -78,7 +79,7 @@ func TestCloneIsIndependentState(t *testing.T) {
 	// Weight copies, not aliases: training the clone must not move the
 	// original's Q-values (probed on a fixed state).
 	inv := &w.Invocations[0]
-	env := platform.Env{Pool: pool.New(0, pool.LRU{})}
+	env := platform.Env{Pool: pool.New(0, evict.NewLRU())}
 	state := s.feat.Build(env, inv)
 	before := append([]float64(nil), s.agent.QValues(state.X).Data...)
 	c.Train(TrainOptions{Episodes: 2, PoolCapacityMB: 512, Workload: func(int) workload.Workload { return w }})

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mlcr/internal/drl"
+	"mlcr/internal/evict"
 	"mlcr/internal/nn"
 	"mlcr/internal/obs/perf"
 	"mlcr/internal/platform"
@@ -203,7 +204,7 @@ func (s *Scheduler) Name() string { return "MLCR" }
 
 // Evictor returns the pool eviction policy MLCR is paired with (LRU, as
 // in the paper).
-func (s *Scheduler) Evictor() pool.Evictor { return pool.LRU{} }
+func (s *Scheduler) Evictor() pool.Evictor { return evict.NewLRU() }
 
 // Agent exposes the underlying DQN (for inspection and benchmarks).
 func (s *Scheduler) Agent() *drl.Agent { return s.agent }

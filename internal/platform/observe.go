@@ -51,13 +51,15 @@ func newPlatformMetrics(reg *obs.Registry) *platformMetrics {
 	return m
 }
 
-// eviction returns the per-reason eviction counter, registering it on
-// first use (evictions are rare; the map lookup is off the hot path).
-func (m *platformMetrics) eviction(reason string) *obs.Counter {
+// eviction returns the per-policy, per-reason eviction counter,
+// registering it on first use (evictions are rare; the map lookup is
+// off the hot path). The policy label names the configured eviction
+// policy, so grid runs and multi-pool deployments stay tellable apart.
+func (m *platformMetrics) eviction(policy, reason string) *obs.Counter {
 	c, ok := m.evicted[reason]
 	if !ok {
-		c = m.reg.Counter(`mlcr_pool_evictions_total{reason="`+reason+`"}`,
-			"Containers killed by the pool, by reason.")
+		c = m.reg.Counter(`mlcr_pool_evictions_total{policy="`+policy+`",reason="`+reason+`"}`,
+			"Containers killed by the pool, by policy and reason.")
 		m.evicted[reason] = c
 	}
 	return c
@@ -114,7 +116,7 @@ func (p *Platform) wireObservability() {
 			})
 		}
 		if p.pm != nil {
-			p.pm.eviction(reason).Inc()
+			p.pm.eviction(p.pool.Evictor().Name(), reason).Inc()
 		}
 	}
 	p.cleaner.OnSwap = func(op container.SwapOp) {

@@ -14,6 +14,7 @@ import (
 
 	"mlcr/internal/container"
 	"mlcr/internal/core"
+	"mlcr/internal/evict"
 	"mlcr/internal/metrics"
 	"mlcr/internal/obs"
 	"mlcr/internal/obs/perf"
@@ -182,7 +183,7 @@ func New(cfg Config, sched Scheduler) *Platform {
 	}
 	ev := cfg.Evictor
 	if ev == nil {
-		ev = pool.LRU{}
+		ev = evict.NewLRU()
 	}
 	alpha := cfg.RateAlpha
 	if alpha == 0 {

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"mlcr/internal/core"
+	"mlcr/internal/evict"
 	"mlcr/internal/image"
-	"mlcr/internal/pool"
 	"mlcr/internal/registry"
 	"mlcr/internal/workload"
 )
@@ -169,7 +169,7 @@ func TestKeepAliveTTLExpiry(t *testing.T) {
 		{Seq: 0, Fn: f, Arrival: time.Second, Exec: f.Exec},
 		{Seq: 1, Fn: f, Arrival: 15 * time.Minute, Exec: f.Exec},
 	}}
-	res := New(Config{PoolCapacityMB: 1000, Evictor: pool.KeepAlive{Alive: 10 * time.Minute}}, bestMatch{}).Run(w)
+	res := New(Config{PoolCapacityMB: 1000, Evictor: evict.KeepAlive{Alive: 10 * time.Minute}}, bestMatch{}).Run(w)
 	if res.Metrics.ColdStarts() != 2 {
 		t.Fatalf("cold starts = %d, want 2 (expired)", res.Metrics.ColdStarts())
 	}

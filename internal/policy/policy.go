@@ -10,6 +10,7 @@ import (
 
 	"mlcr/internal/container"
 	"mlcr/internal/core"
+	"mlcr/internal/evict"
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
 	"mlcr/internal/workload"
@@ -23,11 +24,12 @@ import (
 func sameFunction(env platform.Env, inv *workload.Invocation) int {
 	best := platform.ColdStart
 	var bestUsed time.Duration = -1
-	for _, c := range env.Pool.Idle() {
+	env.Pool.RangeIdle(func(c *container.Container) bool {
 		if c.FnID == inv.Fn.ID && c.LastUsedAt > bestUsed {
 			best, bestUsed = c.ID, c.LastUsedAt
 		}
-	}
+		return true
+	})
 	return best
 }
 
@@ -43,7 +45,7 @@ func NewLRU() *LRU { return &LRU{} }
 func (*LRU) Name() string { return "LRU" }
 
 // Evictor returns the pool eviction policy this scheduler is paired with.
-func (*LRU) Evictor() pool.Evictor { return pool.LRU{} }
+func (*LRU) Evictor() pool.Evictor { return evict.NewLRU() }
 
 // Schedule implements platform.Scheduler.
 func (*LRU) Schedule(env platform.Env, inv *workload.Invocation) int {
@@ -65,7 +67,7 @@ func NewFaasCache() *FaasCache { return &FaasCache{} }
 func (*FaasCache) Name() string { return "FaasCache" }
 
 // Evictor returns the greedy-dual eviction policy.
-func (*FaasCache) Evictor() pool.Evictor { return pool.NewFaasCache() }
+func (*FaasCache) Evictor() pool.Evictor { return evict.NewFaasCache() }
 
 // Schedule implements platform.Scheduler.
 func (*FaasCache) Schedule(env platform.Env, inv *workload.Invocation) int {
@@ -83,21 +85,16 @@ type KeepAlive struct {
 	Alive time.Duration
 }
 
-// NewKeepAlive returns the KeepAlive baseline with the paper's 10-minute
-// window.
-func NewKeepAlive() *KeepAlive { return &KeepAlive{Alive: 10 * time.Minute} }
+// NewKeepAlive returns the KeepAlive baseline with the paper's window
+// (evict.DefaultKeepAlive, 10 minutes).
+func NewKeepAlive() *KeepAlive { return &KeepAlive{Alive: evict.DefaultKeepAlive} }
 
 // Name implements platform.Scheduler.
 func (*KeepAlive) Name() string { return "KeepAlive" }
 
-// Evictor returns the TTL-based non-displacing eviction policy.
-func (k *KeepAlive) Evictor() pool.Evictor {
-	alive := k.Alive
-	if alive == 0 {
-		alive = 10 * time.Minute
-	}
-	return pool.KeepAlive{Alive: alive}
-}
+// Evictor returns the TTL-based non-displacing eviction policy. A zero
+// Alive falls back to evict.DefaultKeepAlive inside the policy itself.
+func (k *KeepAlive) Evictor() pool.Evictor { return evict.KeepAlive{Alive: k.Alive} }
 
 // Schedule implements platform.Scheduler.
 func (*KeepAlive) Schedule(env platform.Env, inv *workload.Invocation) int {
@@ -130,22 +127,23 @@ func NewGreedyMatch() *GreedyMatch { return &GreedyMatch{} }
 func (*GreedyMatch) Name() string { return "Greedy-Match" }
 
 // Evictor returns the pool eviction policy this scheduler is paired with.
-func (*GreedyMatch) Evictor() pool.Evictor { return pool.LRU{} }
+func (*GreedyMatch) Evictor() pool.Evictor { return evict.NewLRU() }
 
 // Schedule implements platform.Scheduler.
 func (*GreedyMatch) Schedule(env platform.Env, inv *workload.Invocation) int {
 	best := platform.ColdStart
 	bestLv := core.NoMatch
 	var bestUsed time.Duration = -1
-	for _, c := range env.Pool.Idle() {
+	env.Pool.RangeIdle(func(c *container.Container) bool {
 		lv := core.Match(inv.Fn.Image, c.Image)
 		if lv == core.NoMatch {
-			continue
+			return true
 		}
 		if lv > bestLv || (lv == bestLv && (c.LastUsedAt > bestUsed || (c.LastUsedAt == bestUsed && c.ID < best))) {
 			best, bestLv, bestUsed = c.ID, lv, c.LastUsedAt
 		}
-	}
+		return true
+	})
 	return best
 }
 
@@ -166,24 +164,25 @@ func NewCostGreedy() *CostGreedy { return &CostGreedy{} }
 func (*CostGreedy) Name() string { return "Cost-Greedy" }
 
 // Evictor returns the pool eviction policy this scheduler is paired with.
-func (*CostGreedy) Evictor() pool.Evictor { return pool.LRU{} }
+func (*CostGreedy) Evictor() pool.Evictor { return evict.NewLRU() }
 
 // Schedule implements platform.Scheduler.
 func (*CostGreedy) Schedule(env platform.Env, inv *workload.Invocation) int {
 	best := platform.ColdStart
 	var bestCost time.Duration
 	var bestUsed time.Duration = -1
-	for _, c := range env.Pool.Idle() {
+	env.Pool.RangeIdle(func(c *container.Container) bool {
 		est, lv := container.EstimateFor(inv.Fn, c)
 		if lv == core.NoMatch {
-			continue
+			return true
 		}
 		cost := est.Total()
 		if best == platform.ColdStart || cost < bestCost ||
 			(cost == bestCost && (c.LastUsedAt > bestUsed || (c.LastUsedAt == bestUsed && c.ID < best))) {
 			best, bestCost, bestUsed = c.ID, cost, c.LastUsedAt
 		}
-	}
+		return true
+	})
 	if best != platform.ColdStart && bestCost >= container.Estimate(inv.Fn, core.NoMatch, false).Total() {
 		// A warm start that is no cheaper than a cold start is pointless.
 		return platform.ColdStart

@@ -7,6 +7,7 @@ import (
 
 	"mlcr/internal/container"
 	"mlcr/internal/core"
+	"mlcr/internal/evict"
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
 	"mlcr/internal/workload"
@@ -64,7 +65,7 @@ func NewTabularQ(seed int64) *TabularQ {
 func (t *TabularQ) Name() string { return "Tabular-Q" }
 
 // Evictor pairs the scheduler with LRU eviction like MLCR.
-func (t *TabularQ) Evictor() pool.Evictor { return pool.LRU{} }
+func (t *TabularQ) Evictor() pool.Evictor { return evict.NewLRU() }
 
 // States returns the number of distinct states visited.
 func (t *TabularQ) States() int { return len(t.q) }
@@ -91,15 +92,16 @@ func pressureBucket(env platform.Env) int {
 func bestCandidate(env platform.Env, inv *workload.Invocation) (int, core.MatchLevel) {
 	best, bestLv := platform.ColdStart, core.NoMatch
 	var bestCost time.Duration
-	for _, c := range env.Pool.Idle() {
+	env.Pool.RangeIdle(func(c *container.Container) bool {
 		est, lv := container.EstimateFor(inv.Fn, c)
 		if lv == core.NoMatch {
-			continue
+			return true
 		}
 		if best == platform.ColdStart || est.Total() < bestCost {
 			best, bestLv, bestCost = c.ID, lv, est.Total()
 		}
-	}
+		return true
+	})
 	if best != platform.ColdStart &&
 		bestCost >= container.Estimate(inv.Fn, core.NoMatch, false).Total() {
 		return platform.ColdStart, core.NoMatch

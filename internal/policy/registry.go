@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"mlcr/internal/evict"
+	"mlcr/internal/platform"
+	"mlcr/internal/pool"
+	"mlcr/internal/workload"
+)
+
+// Evictored is a scheduler bundled with its default eviction policy —
+// the pairing every Setup, CLI and grid driver works in.
+type Evictored interface {
+	platform.Scheduler
+	Evictor() pool.Evictor
+}
+
+// SameFunction is the bare same-function reuse rule (Figure 1's "C"
+// mode) with no policy identity of its own: the scheduling behaviour
+// shared by the LRU, FaasCache and KeepAlive baselines, exposed
+// separately so the scheduler × evictor grid can cross it with any
+// eviction policy without implying a specific one.
+type SameFunction struct{}
+
+// NewSameFunction returns the same-function scheduler (default LRU
+// eviction, like the paper's LRU baseline).
+func NewSameFunction() *SameFunction { return &SameFunction{} }
+
+// Name implements platform.Scheduler.
+func (*SameFunction) Name() string { return "Same-Function" }
+
+// Evictor returns the default pairing (LRU).
+func (*SameFunction) Evictor() pool.Evictor { return evict.NewLRU() }
+
+// Schedule implements platform.Scheduler.
+func (*SameFunction) Schedule(env platform.Env, inv *workload.Invocation) int {
+	return sameFunction(env, inv)
+}
+
+// OnResult implements platform.Scheduler.
+func (*SameFunction) OnResult(platform.Env, *workload.Invocation, platform.Result) {}
+
+// GridSchedulers lists the scheduler names crossed with the eviction
+// zoo in grid mode: the non-learned schedulers (cheap enough to run
+// against every evictor) in increasing sophistication. MLCR requires
+// offline training and keeps its LRU pairing outside the grid.
+func GridSchedulers() []string {
+	return []string{"Same-Function", "Greedy-Match", "Cost-Greedy", "Tabular-Q"}
+}
+
+// NewByName builds a fresh scheduler (with its default evictor pairing)
+// by grid name. seed feeds learned schedulers' RNGs (Tabular-Q);
+// deterministic schedulers ignore it. The second result is false for
+// unknown names.
+func NewByName(name string, seed int64) (Evictored, bool) {
+	switch name {
+	case "Same-Function":
+		return NewSameFunction(), true
+	case "Greedy-Match":
+		return NewGreedyMatch(), true
+	case "Cost-Greedy":
+		return NewCostGreedy(), true
+	case "Tabular-Q":
+		return NewTabularQ(seed), true
+	case "LRU":
+		return NewLRU(), true
+	case "FaasCache":
+		return NewFaasCache(), true
+	case "KeepAlive":
+		return NewKeepAlive(), true
+	default:
+		return nil, false
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mlcr/internal/core"
+	"mlcr/internal/evict"
 	"mlcr/internal/image"
 	"mlcr/internal/workload"
 )
@@ -31,7 +32,7 @@ func mlFn(id int, os, lang, rt string) *workload.Function {
 // truth: a full core.Match scan over Idle(), across every match level,
 // including empty levels and after pool churn.
 func TestAppendMatchesMatchesNaiveScan(t *testing.T) {
-	p := New(0, LRU{})
+	p := New(0, evict.NewLRU())
 	fns := []*workload.Function{
 		mlFn(1, "debian", "python", "flask"),
 		mlFn(2, "debian", "python", "numpy"),
@@ -94,7 +95,7 @@ func TestPoolHotPathZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are unreliable under -race")
 	}
-	p := New(0, LRU{})
+	p := New(0, evict.NewLRU())
 	f := mlFn(1, "debian", "python", "flask")
 	g := mlFn(2, "debian", "python", "numpy")
 	cf := idleContainer(10, f, 0)
@@ -120,7 +121,7 @@ func TestExpireZeroAllocsWhenNothingExpires(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are unreliable under -race")
 	}
-	p := New(0, KeepAlive{Alive: time.Hour})
+	p := New(0, evict.KeepAlive{Alive: time.Hour})
 	f := mlFn(1, "debian", "python", "flask")
 	for i := 0; i < 8; i++ {
 		p.Add(idleContainer(20+i, f, 0), 0, 0)
@@ -133,7 +134,7 @@ func TestExpireZeroAllocsWhenNothingExpires(t *testing.T) {
 // TestExpireReturnsInsertionOrder pins the deterministic expiry order the
 // list-based walk must preserve.
 func TestExpireReturnsInsertionOrder(t *testing.T) {
-	p := New(0, KeepAlive{Alive: time.Second})
+	p := New(0, evict.KeepAlive{Alive: time.Second})
 	f := mlFn(1, "debian", "python", "flask")
 	var want []int
 	for i := 0; i < 5; i++ {

@@ -1,7 +1,10 @@
-// Package pool implements the fix-sized warm-container resource pool and
-// its eviction policies: LRU (the paper's default for MLCR and
-// Greedy-Match), FaasCache's greedy-dual priority eviction, and the
-// 10-minute KeepAlive policy of public clouds (Section VI-A).
+// Package pool implements the fix-sized warm-container resource pool.
+// Eviction is delegated to an event-driven policy from internal/evict
+// (LRU, FaasCache greedy-dual, KeepAlive and the rest of the zoo —
+// Section VI-A, DESIGN.md §12): the pool narrates membership changes
+// through the policy's OnAdd/OnUse/OnRemove/OnTick callbacks and asks
+// PickVictim when full, so victim selection is O(1)/O(log n) instead of
+// scanning the idle set.
 //
 // The pool holds idle containers only; a container leaves the pool for the
 // duration of every invocation it serves and is offered back on
@@ -10,35 +13,18 @@ package pool
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"mlcr/internal/container"
+	"mlcr/internal/evict"
 	"mlcr/internal/image"
 	"mlcr/internal/obs/perf"
 )
 
-// Evictor decides which idle container to sacrifice when the pool is full,
-// and whether new containers may displace old ones at all.
-type Evictor interface {
-	// Name identifies the policy for reports.
-	Name() string
-	// Admit reports whether a new container may enter a full pool by
-	// evicting others. KeepAlive returns false: it rejects keep-warm
-	// requests when the pool is full.
-	Admit() bool
-	// Victim selects the container to evict among the given idle
-	// containers (never empty). now is the current virtual time.
-	Victim(idle []*container.Container, now time.Duration) *container.Container
-	// TTL is the maximum idle lifetime; zero means unlimited.
-	TTL() time.Duration
-	// OnAdd and OnUse let stateful policies (FaasCache) maintain
-	// frequency and priority bookkeeping.
-	OnAdd(c *container.Container, startupCost time.Duration, now time.Duration)
-	OnUse(c *container.Container, now time.Duration)
-	// OnEvict is called for every eviction or expiry.
-	OnEvict(c *container.Container)
-}
+// Evictor is the pool's eviction-policy contract, defined in
+// internal/evict. The alias keeps the historical pool.Evictor name
+// working across schedulers, experiments and CLIs.
+type Evictor = evict.Policy
 
 // Stats counts pool-level events for the experiment reports (Fig 10).
 type Stats struct {
@@ -54,16 +40,17 @@ type Stats struct {
 	PeakUsedMB float64
 }
 
-// Reasons passed to a Pool's OnEvict hook.
+// Reasons passed to a Pool's OnEvict hook, aliased from the policy
+// contract package so pool and policies agree by construction.
 const (
 	// ReasonCapacity: displaced by the evictor to make room.
-	ReasonCapacity = "capacity"
+	ReasonCapacity = evict.ReasonCapacity
 	// ReasonExpired: exceeded the idle TTL.
-	ReasonExpired = "expired"
+	ReasonExpired = evict.ReasonExpired
 	// ReasonRejected: a keep-warm request refused by a full pool.
-	ReasonRejected = "rejected"
+	ReasonRejected = evict.ReasonRejected
 	// ReasonOversize: the container alone exceeds the pool capacity.
-	ReasonOversize = "oversize"
+	ReasonOversize = evict.ReasonOversize
 )
 
 // entry is a pool slot: a node of the intrusive insertion-ordered list
@@ -163,7 +150,8 @@ func (p *Pool) Evictor() Evictor { return p.evictor }
 
 // Idle returns the idle containers in deterministic (insertion) order.
 // The returned slice is shared and only valid until the next pool
-// mutation; callers must not mutate or retain it.
+// mutation; callers must not mutate or retain it. Hot paths should
+// prefer RangeIdle, which never materializes the slice.
 func (p *Pool) Idle() []*container.Container {
 	if p.idleDirty {
 		p.idle = p.idle[:0]
@@ -173,6 +161,18 @@ func (p *Pool) Idle() []*container.Container {
 		p.idleDirty = false
 	}
 	return p.idle
+}
+
+// RangeIdle calls f for each idle container in deterministic (insertion)
+// order until f returns false. It walks the intrusive list directly —
+// no slice is built or cached — so scheduler scan loops stay
+// allocation-free. f must not mutate the pool.
+func (p *Pool) RangeIdle(f func(c *container.Container) bool) {
+	for e := p.head; e != nil; e = e.next {
+		if !f(e.c) {
+			return
+		}
+	}
 }
 
 // Get returns the pooled container with the given ID, or nil.
@@ -185,11 +185,13 @@ func (p *Pool) Get(id int) *container.Container {
 
 // Expire removes idle containers whose idle time exceeds the evictor's
 // TTL — the per-container TTL when the evictor implements
-// PerContainerTTL, the global one otherwise. It returns the expired
-// containers. Call with the current virtual time before making
-// scheduling decisions.
+// evict.PerContainerTTL, the global one otherwise. It returns the
+// expired containers. Call with the current virtual time before making
+// scheduling decisions; the call delivers the policy's OnTick even when
+// no TTL is configured.
 func (p *Pool) Expire(now time.Duration) []*container.Container {
-	perC, adaptive := p.evictor.(PerContainerTTL)
+	p.evictor.OnTick(now)
+	perC, adaptive := p.evictor.(evict.PerContainerTTL)
 	globalTTL := p.evictor.TTL()
 	if globalTTL <= 0 && !adaptive {
 		return nil
@@ -207,7 +209,7 @@ func (p *Pool) Expire(now time.Duration) []*container.Container {
 		if ttl > 0 && c.IdleFor(now) > ttl {
 			p.remove(e)
 			c.Kill()
-			p.evictor.OnEvict(c)
+			p.evictor.OnRemove(c, ReasonExpired)
 			p.stats.Expirations++
 			if p.OnEvict != nil {
 				p.OnEvict(c, ReasonExpired, now)
@@ -249,7 +251,7 @@ func (p *Pool) Add(c *container.Container, startupCost time.Duration, now time.D
 			return false
 		}
 		sp := p.Prof.Start(perf.PhasePoolEvict)
-		victim := p.evictor.Victim(p.Idle(), now)
+		victim := p.evictor.PickVictim(now)
 		sp.End()
 		if victim == nil {
 			c.Kill()
@@ -259,9 +261,13 @@ func (p *Pool) Add(c *container.Container, startupCost time.Duration, now time.D
 			}
 			return false
 		}
-		p.remove(p.byID[victim.ID])
+		ve, ok := p.byID[victim.ID]
+		if !ok || ve.c != victim {
+			panic(fmt.Sprintf("pool: policy %s picked unpooled victim %d", p.evictor.Name(), victim.ID))
+		}
+		p.remove(ve)
 		victim.Kill()
-		p.evictor.OnEvict(victim)
+		p.evictor.OnRemove(victim, ReasonCapacity)
 		p.stats.Evictions++
 		if p.OnEvict != nil {
 			p.OnEvict(victim, ReasonCapacity, now)
@@ -359,153 +365,4 @@ func (p *Pool) listRemove(e *entry) {
 		p.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
-}
-
-// --- LRU ---
-
-// LRU evicts the least-recently-used idle container. It is the eviction
-// policy used by MLCR and Greedy-Match in the paper.
-type LRU struct{}
-
-// Name implements Evictor.
-func (LRU) Name() string { return "lru" }
-
-// Admit implements Evictor: LRU always displaces old containers.
-func (LRU) Admit() bool { return true }
-
-// TTL implements Evictor: no idle-time limit.
-func (LRU) TTL() time.Duration { return 0 }
-
-// Victim returns the container with the oldest LastUsedAt.
-func (LRU) Victim(idle []*container.Container, _ time.Duration) *container.Container {
-	var victim *container.Container
-	for _, c := range idle {
-		if victim == nil || c.LastUsedAt < victim.LastUsedAt {
-			victim = c
-		}
-	}
-	return victim
-}
-
-// OnAdd implements Evictor (stateless).
-func (LRU) OnAdd(*container.Container, time.Duration, time.Duration) {}
-
-// OnUse implements Evictor (stateless).
-func (LRU) OnUse(*container.Container, time.Duration) {}
-
-// OnEvict implements Evictor (stateless).
-func (LRU) OnEvict(*container.Container) {}
-
-// --- KeepAlive ---
-
-// KeepAlive keeps containers warm for a fixed duration (public clouds use
-// 5–10 minutes) and rejects keep-warm requests when the pool is full.
-type KeepAlive struct {
-	// Alive is the keep-warm duration (the paper uses 10 minutes).
-	Alive time.Duration
-}
-
-// Name implements Evictor.
-func (k KeepAlive) Name() string { return "keepalive" }
-
-// Admit implements Evictor: a full pool rejects new containers.
-func (k KeepAlive) Admit() bool { return false }
-
-// TTL implements Evictor.
-func (k KeepAlive) TTL() time.Duration { return k.Alive }
-
-// Victim implements Evictor; unreachable because Admit is false.
-func (k KeepAlive) Victim([]*container.Container, time.Duration) *container.Container { return nil }
-
-// OnAdd implements Evictor (stateless).
-func (k KeepAlive) OnAdd(*container.Container, time.Duration, time.Duration) {}
-
-// OnUse implements Evictor (stateless).
-func (k KeepAlive) OnUse(*container.Container, time.Duration) {}
-
-// OnEvict implements Evictor (stateless).
-func (k KeepAlive) OnEvict(*container.Container) {}
-
-// --- FaasCache ---
-
-// FaasCache implements the greedy-dual keep-alive policy of Fuerst &
-// Sharma (ASPLOS'21): each warm container gets priority
-//
-//	priority = clock + frequency × cost / size
-//
-// where frequency counts invocations of the container's function, cost is
-// the startup latency the warm container saves, and size is its memory.
-// The pool evicts the minimum-priority container and raises the global
-// clock to that priority, aging the remaining entries.
-type FaasCache struct {
-	clock float64
-	freq  map[int]int     // function ID -> invocation count
-	prio  map[int]float64 // container ID -> priority
-	cost  map[int]float64 // container ID -> startup cost (seconds)
-}
-
-// NewFaasCache returns an initialized FaasCache evictor.
-func NewFaasCache() *FaasCache {
-	return &FaasCache{freq: make(map[int]int), prio: make(map[int]float64), cost: make(map[int]float64)}
-}
-
-// Name implements Evictor.
-func (f *FaasCache) Name() string { return "faascache" }
-
-// Admit implements Evictor.
-func (f *FaasCache) Admit() bool { return true }
-
-// TTL implements Evictor: greedy-dual has no fixed TTL.
-func (f *FaasCache) TTL() time.Duration { return 0 }
-
-func (f *FaasCache) priority(c *container.Container, cost float64) float64 {
-	size := c.MemoryMB
-	if size <= 0 {
-		size = 1
-	}
-	return f.clock + float64(f.freq[c.FnID])*cost/size
-}
-
-// OnAdd implements Evictor: computes the container's priority from the
-// current clock, its function's observed frequency, the startup cost it
-// saves and its size.
-func (f *FaasCache) OnAdd(c *container.Container, startupCost time.Duration, _ time.Duration) {
-	f.freq[c.FnID]++
-	f.cost[c.ID] = startupCost.Seconds()
-	f.prio[c.ID] = f.priority(c, f.cost[c.ID])
-}
-
-// OnUse implements Evictor: refreshes the priority on reuse.
-func (f *FaasCache) OnUse(c *container.Container, _ time.Duration) {
-	f.freq[c.FnID]++
-	f.prio[c.ID] = f.priority(c, f.cost[c.ID])
-}
-
-// OnEvict implements Evictor: drops bookkeeping for the container.
-func (f *FaasCache) OnEvict(c *container.Container) {
-	delete(f.prio, c.ID)
-	delete(f.cost, c.ID)
-}
-
-// Victim returns the minimum-priority container and advances the clock to
-// its priority (the greedy-dual aging step). Ties break on lower ID for
-// determinism.
-func (f *FaasCache) Victim(idle []*container.Container, _ time.Duration) *container.Container {
-	cands := append([]*container.Container(nil), idle...)
-	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
-	var victim *container.Container
-	best := 0.0
-	for _, c := range cands {
-		p, ok := f.prio[c.ID]
-		if !ok {
-			p = f.clock
-		}
-		if victim == nil || p < best {
-			victim, best = c, p
-		}
-	}
-	if victim != nil {
-		f.clock = best
-	}
-	return victim
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mlcr/internal/container"
+	"mlcr/internal/evict"
 	"mlcr/internal/workload"
 )
 
@@ -21,7 +22,7 @@ func TestPropertyPoolInvariants(t *testing.T) {
 	run := func(seed int64, capMB uint16, ops []uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		capacity := float64(capMB%2000) + 100
-		p := New(capacity, LRU{})
+		p := New(capacity, evict.NewLRU())
 		members := map[int]*container.Container{}
 		nextID := 1
 		now := time.Duration(0)

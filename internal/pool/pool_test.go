@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mlcr/internal/container"
+	"mlcr/internal/evict"
 	"mlcr/internal/image"
 	"mlcr/internal/workload"
 )
@@ -26,7 +27,7 @@ func idleContainer(id int, f *workload.Function, created time.Duration) *contain
 }
 
 func TestAddAndTake(t *testing.T) {
-	p := New(1000, LRU{})
+	p := New(1000, evict.NewLRU())
 	c := idleContainer(1, fn(1, 128), 0)
 	if !p.Add(c, time.Second, c.IdleSince) {
 		t.Fatal("Add rejected with free capacity")
@@ -41,7 +42,7 @@ func TestAddAndTake(t *testing.T) {
 }
 
 func TestAddPanicsOnBusy(t *testing.T) {
-	p := New(1000, LRU{})
+	p := New(1000, evict.NewLRU())
 	c, _ := container.NewCold(1, &workload.Invocation{Fn: fn(1, 128), Exec: time.Second}, 0)
 	defer func() {
 		if recover() == nil {
@@ -52,7 +53,7 @@ func TestAddPanicsOnBusy(t *testing.T) {
 }
 
 func TestAddPanicsOnDuplicate(t *testing.T) {
-	p := New(1000, LRU{})
+	p := New(1000, evict.NewLRU())
 	c := idleContainer(1, fn(1, 128), 0)
 	p.Add(c, 0, c.IdleSince)
 	defer func() {
@@ -64,7 +65,7 @@ func TestAddPanicsOnDuplicate(t *testing.T) {
 }
 
 func TestTakePanicsOnMissing(t *testing.T) {
-	p := New(1000, LRU{})
+	p := New(1000, evict.NewLRU())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Take of unknown id did not panic")
@@ -74,7 +75,7 @@ func TestTakePanicsOnMissing(t *testing.T) {
 }
 
 func TestOversizedContainerRejected(t *testing.T) {
-	p := New(100, LRU{})
+	p := New(100, evict.NewLRU())
 	c := idleContainer(1, fn(1, 200), 0)
 	if p.Add(c, 0, c.IdleSince) {
 		t.Fatal("container larger than pool accepted")
@@ -88,7 +89,7 @@ func TestOversizedContainerRejected(t *testing.T) {
 }
 
 func TestLRUEvictsOldest(t *testing.T) {
-	p := New(256, LRU{})
+	p := New(256, evict.NewLRU())
 	f := fn(1, 128)
 	a := idleContainer(1, f, 0)
 	b := idleContainer(2, f, time.Second)
@@ -114,7 +115,7 @@ func TestLRUEvictsOldest(t *testing.T) {
 }
 
 func TestLRUEvictsMultipleForLargeContainer(t *testing.T) {
-	p := New(256, LRU{})
+	p := New(256, evict.NewLRU())
 	f := fn(1, 128)
 	p.Add(idleContainer(1, f, 0), 0, time.Second)
 	p.Add(idleContainer(2, f, time.Second), 0, 2*time.Second)
@@ -131,7 +132,7 @@ func TestLRUEvictsMultipleForLargeContainer(t *testing.T) {
 }
 
 func TestKeepAliveRejectsWhenFull(t *testing.T) {
-	p := New(128, KeepAlive{Alive: 10 * time.Minute})
+	p := New(128, evict.KeepAlive{Alive: 10 * time.Minute})
 	f := fn(1, 128)
 	p.Add(idleContainer(1, f, 0), 0, time.Second)
 	c := idleContainer(2, f, time.Second)
@@ -147,7 +148,7 @@ func TestKeepAliveRejectsWhenFull(t *testing.T) {
 }
 
 func TestKeepAliveExpires(t *testing.T) {
-	p := New(1000, KeepAlive{Alive: 10 * time.Minute})
+	p := New(1000, evict.KeepAlive{Alive: 10 * time.Minute})
 	f := fn(1, 128)
 	c := idleContainer(1, f, 0)
 	p.Add(c, 0, c.IdleSince)
@@ -164,7 +165,7 @@ func TestKeepAliveExpires(t *testing.T) {
 }
 
 func TestLRUNoTTL(t *testing.T) {
-	p := New(1000, LRU{})
+	p := New(1000, evict.NewLRU())
 	c := idleContainer(1, fn(1, 128), 0)
 	p.Add(c, 0, c.IdleSince)
 	if got := p.Expire(c.IdleSince + 100*time.Hour); len(got) != 0 {
@@ -173,7 +174,7 @@ func TestLRUNoTTL(t *testing.T) {
 }
 
 func TestFaasCachePrefersEvictingLowValue(t *testing.T) {
-	ev := NewFaasCache()
+	ev := evict.NewFaasCache()
 	p := New(256, ev)
 	// Frequent, expensive, small function -> high priority.
 	hot := fn(1, 128)
@@ -203,21 +204,21 @@ func TestFaasCachePrefersEvictingLowValue(t *testing.T) {
 }
 
 func TestFaasCacheClockAges(t *testing.T) {
-	ev := NewFaasCache()
-	if ev.clock != 0 {
+	ev := evict.NewFaasCache()
+	if ev.Clock() != 0 {
 		t.Fatal("fresh clock not zero")
 	}
 	p := New(128, ev)
 	f := fn(1, 128)
 	p.Add(idleContainer(1, f, 0), time.Second, time.Second)
 	p.Add(idleContainer(2, f, time.Second), time.Second, 2*time.Second) // evicts #1
-	if ev.clock <= 0 {
-		t.Fatalf("clock did not advance after eviction: %v", ev.clock)
+	if ev.Clock() <= 0 {
+		t.Fatalf("clock did not advance after eviction: %v", ev.Clock())
 	}
 }
 
 func TestPeakUsedTracksHighWater(t *testing.T) {
-	p := New(1000, LRU{})
+	p := New(1000, evict.NewLRU())
 	f := fn(1, 300)
 	a := idleContainer(1, f, 0)
 	b := idleContainer(2, f, time.Second)
@@ -234,7 +235,7 @@ func TestPeakUsedTracksHighWater(t *testing.T) {
 }
 
 func TestUnlimitedPoolNeverEvicts(t *testing.T) {
-	p := New(0, LRU{})
+	p := New(0, evict.NewLRU())
 	f := fn(1, 1000)
 	for i := 1; i <= 50; i++ {
 		c := idleContainer(i, f, time.Duration(i)*time.Second)
@@ -257,7 +258,7 @@ func TestNilEvictorPanics(t *testing.T) {
 }
 
 func TestIdleOrderDeterministic(t *testing.T) {
-	p := New(0, LRU{})
+	p := New(0, evict.NewLRU())
 	f := fn(1, 10)
 	for i := 1; i <= 5; i++ {
 		c := idleContainer(i, f, time.Duration(i)*time.Second)

@@ -4,8 +4,10 @@
 #
 # cmd/mlcr-perf runs every benchmark tier in-process — simcore (the
 # million-invocation simulator core), hotpath (per-decision
-# micro-benchmarks) and runner (the parallel harness sweep) — and
-# records ns/op, allocs/op, invocations/sec and peak RSS per entry.
+# micro-benchmarks), pool_evict (the capacity-eviction cycle per
+# eviction policy and pool size) and runner (the parallel harness
+# sweep) — and records ns/op, allocs/op, invocations/sec and peak RSS
+# per entry.
 # The previous report's numbers are carried into the history array
 # (capped) when it came from this machine, so the committed file keeps
 # a short trend line across regenerations.

@@ -32,6 +32,9 @@ else
     go test -race -short ./...
 fi
 
+echo "== scheduler × evictor grid smoke (every registered eviction policy) =="
+go run ./cmd/mlcr-sim -workload Uniform -count 200 -evictor all > /dev/null
+
 echo "== BenchmarkSimCore smoke (1 invocation) =="
 go test -run '^$' -bench '^BenchmarkSimCore$' -benchtime 1x -count 1 .
 
