@@ -10,6 +10,7 @@
 //	mlcr-bench -fig 8 -csv out.csv      # also emit CSV
 //	mlcr-bench -fig 8 -evictor lfu      # rerun fig 8 under LFU eviction
 //	mlcr-bench -fig grid                # scheduler × evictor grid
+//	mlcr-bench -fig cluster             # routing × scheduler grid
 package main
 
 import (
@@ -26,7 +27,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 8, 9, 10, 11a, 11b, 11c, overhead, ablation, cache, grid, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 8, 9, 10, 11a, 11b, 11c, overhead, ablation, cache, grid, cluster, all")
+	workers := flag.Int("workers", 8, "cluster size for -fig cluster")
 	seed := flag.Int64("seed", 1, "base random seed")
 	repeats := flag.Int("repeats", 0, "workload seeds per data point (0 = default 3)")
 	episodes := flag.Int("episodes", 0, "MLCR training episodes (0 = default 36)")
@@ -98,6 +100,17 @@ func main() {
 			w := fstartbench.BuildOverall(*seed, fstartbench.OverallOptions{})
 			poolMB := experiments.CalibrateLoose(w) * 0.5
 			return experiments.EvictionGrid(w, poolMB, nil, nil, opts).Table()
+		})
+	}
+
+	// The routing × scheduler grid is likewise opt-in (-fig cluster):
+	// every registered router crossed with every grid scheduler on a
+	// -workers cluster (Figure 4's deployment model at sweep scale).
+	if *fig == "cluster" {
+		run("cluster", func() *report.Table {
+			w := fstartbench.BuildOverall(*seed, fstartbench.OverallOptions{})
+			poolMB := experiments.CalibrateLoose(w) * 0.5
+			return experiments.ClusterGrid(w, *workers, poolMB, nil, nil, opts).Table()
 		})
 	}
 

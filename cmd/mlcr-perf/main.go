@@ -36,6 +36,7 @@ func main() {
 		tiersFlag = flag.String("tiers", "", "comma-separated tiers to run (default: all: "+strings.Join(perfbench.Tiers(), ",")+")")
 		quick     = flag.Bool("quick", false, "smoke-test scale (seconds, noisier numbers)")
 		n         = flag.Int("n", 0, "override simcore trace size (invocations)")
+		clusterN  = flag.Int("cluster-n", 0, "override cluster-tier trace size (invocations)")
 		baseline  = flag.String("baseline", "", "baseline report to compare against / inherit history from")
 		check     = flag.Bool("check", false, "exit 1 when the run regresses past thresholds vs -baseline")
 		out       = flag.String("out", "", "write the measured report here")
@@ -55,7 +56,7 @@ func main() {
 	if *tiersFlag != "" {
 		tiers = strings.Split(*tiersFlag, ",")
 	}
-	rep, err := perfbench.Run(tiers, perfbench.Options{Quick: *quick, SimCoreInvocations: *n})
+	rep, err := perfbench.Run(tiers, perfbench.Options{Quick: *quick, SimCoreInvocations: *n, ClusterInvocations: *clusterN})
 	if err != nil {
 		fatal(err)
 	}

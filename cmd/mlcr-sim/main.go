@@ -10,6 +10,8 @@
 //	mlcr-sim -workload Overall -policy all -parallel 8
 //	mlcr-sim -workload Peak -policy Greedy-Match -evictor lfu
 //	mlcr-sim -workload Uniform -evictor all -count 200
+//	mlcr-sim -workers 1000 -routing p2c
+//	mlcr-sim -workers 8 -routing all -evictor lfu
 package main
 
 import (
@@ -17,13 +19,16 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"mlcr/internal/cluster"
 	"mlcr/internal/evict"
 	"mlcr/internal/experiments"
 	"mlcr/internal/fstartbench"
 	"mlcr/internal/metrics"
 	"mlcr/internal/obs"
 	"mlcr/internal/platform"
+	"mlcr/internal/policy"
 	"mlcr/internal/report"
 	"mlcr/internal/trace"
 	"mlcr/internal/workload"
@@ -36,6 +41,11 @@ func main() {
 		"policy: LRU, FaasCache, KeepAlive, Greedy-Match, Cost-Greedy, MLCR, or 'all' for a comparison table")
 	parallel := flag.Int("parallel", 0,
 		"concurrent simulation runs for -policy all (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+	workers := flag.Int("workers", 1,
+		"cluster size: > 1 replays the workload through the multi-worker deployment (Figure 4)")
+	routing := flag.String("routing", "round-robin",
+		"cluster front-end routing policy (-workers > 1): "+strings.Join(cluster.RouterNames(), ", ")+
+			"; 'all' compares every router")
 	evictorName := flag.String("evictor", "",
 		"override the policy's eviction strategy: "+strings.Join(evict.Names(), ", ")+
 			"; 'all' runs the scheduler × evictor grid")
@@ -91,6 +101,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mlcr-sim: %v\n", err)
 			os.Exit(2)
 		}
+	}
+
+	if *workers > 1 {
+		if *traceOut != "" || *auditOut != "" {
+			fmt.Fprintln(os.Stderr, "mlcr-sim: cluster runs support -metrics-out only (per-worker traces stay per-platform)")
+			os.Exit(2)
+		}
+		if *evictorName == "all" {
+			fmt.Fprintln(os.Stderr, "mlcr-sim: pick one evictor for cluster runs (or use -routing all for the router comparison)")
+			os.Exit(2)
+		}
+		runCluster(w, *workers, *routing, *policyName, *evictorName, poolMB, *poolFrac, loose, *seed, *parallel, o, *metricsOut)
+		return
 	}
 
 	if *evictorName == "all" {
@@ -193,6 +216,111 @@ func main() {
 	}
 	fmt.Printf("\nstartup latency distribution (P50 ≤ %v, P99 ≤ %v):\n%s",
 		h.Quantile(0.5), h.Quantile(0.99), h)
+}
+
+// runCluster replays the workload through the multi-worker deployment:
+// one run under the named router, or the full router comparison with
+// -routing all. Per-worker schedulers come from the policy registry
+// (MLCR needs offline training and stays single-worker).
+func runCluster(w workload.Workload, workers int, routing, policyName, evictor string, poolMB, poolFrac, loose float64, seed int64, parallel int, o *obs.Observer, metricsOut string) {
+	if _, ok := policy.NewByName(policyName, seed); !ok {
+		fmt.Fprintf(os.Stderr, "mlcr-sim: policy %q is not available per-worker (cluster schedulers: Same-Function, Greedy-Match, Cost-Greedy, Tabular-Q, LRU, FaasCache, KeepAlive)\n", policyName)
+		os.Exit(2)
+	}
+	mkCfg := func(router string) cluster.Config {
+		return cluster.Config{
+			Workers:        workers,
+			PoolCapacityMB: poolMB,
+			Router:         router,
+			RouterSeed:     seed,
+			NewScheduler: func(worker int) platform.Scheduler {
+				sched, _ := policy.NewByName(policyName, seed+int64(worker))
+				return sched
+			},
+			Evictor:     evictor,
+			EvictorSeed: seed,
+			Parallelism: parallel,
+		}
+	}
+
+	if routing == "all" {
+		if o != nil {
+			fmt.Fprintln(os.Stderr, "mlcr-sim: observability outputs need a single router, not -routing all")
+			os.Exit(2)
+		}
+		t := &report.Table{
+			Title: fmt.Sprintf("%s on %s across routers (%d workers, pool %.0f MB = %.0f%% of Loose %.0f MB)",
+				policyName, w.Name, workers, poolMB, poolFrac*100, loose),
+			Header: []string{"router", "total startup", "avg startup", "cold starts", "busiest worker"},
+		}
+		for _, router := range cluster.RouterNames() {
+			res := cluster.Run(mkCfg(router), w)
+			busiest := 0
+			for _, n := range res.Routed {
+				if n > busiest {
+					busiest = n
+				}
+			}
+			var avg time.Duration
+			count := 0
+			for _, pr := range res.PerWorker {
+				count += pr.Metrics.Count()
+			}
+			if count > 0 {
+				avg = res.TotalStartup() / time.Duration(count)
+			}
+			t.AddRow(router, res.TotalStartup(), avg, res.ColdStarts(), busiest)
+		}
+		t.Render(os.Stdout)
+		return
+	}
+
+	if _, err := cluster.NewRouter(routing, cluster.RouterConfig{Workers: workers}); err != nil {
+		fmt.Fprintf(os.Stderr, "mlcr-sim: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := mkCfg(routing)
+	cfg.Obs = o
+	res := cluster.Run(cfg, w)
+
+	if metricsOut != "" {
+		writeOut(metricsOut, func(f *os.File) error { return o.Metrics.WritePrometheus(f) })
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", metricsOut)
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("%s/%s on %s (%d workers, pool %.0f MB = %.0f%% of Loose %.0f MB)",
+			policyName, routing, w.Name, workers, poolMB, poolFrac*100, loose),
+		Header: []string{"metric", "value"},
+	}
+	count, created, evictions := 0, 0, 0
+	busiest, idle := 0, 0
+	for _, pr := range res.PerWorker {
+		count += pr.Metrics.Count()
+		created += pr.ContainersCreated
+		evictions += pr.PoolStats.Evictions
+	}
+	for _, n := range res.Routed {
+		if n > busiest {
+			busiest = n
+		}
+		if n == 0 {
+			idle++
+		}
+	}
+	var avg time.Duration
+	if count > 0 {
+		avg = res.TotalStartup() / time.Duration(count)
+	}
+	t.AddRow("invocations", count)
+	t.AddRow("total startup latency", res.TotalStartup())
+	t.AddRow("average startup latency", avg)
+	t.AddRow("cold starts", res.ColdStarts())
+	t.AddRow("containers created", created)
+	t.AddRow("pool evictions", evictions)
+	t.AddRow("busiest worker (invocations)", busiest)
+	t.AddRow("idle workers", idle)
+	t.Render(os.Stdout)
 }
 
 // compareAll evaluates every policy on the workload concurrently and

@@ -4,14 +4,19 @@
 // scheduler instance. Containers never migrate between workers, so a
 // function can only reuse warm containers on the worker it is routed to —
 // the locality constraint that makes routing policy part of the warm-start
-// problem.
+// problem. Routing itself is a registry of deterministic, shardable
+// Routers (consistent hashing, power-of-two-choices, and the classic
+// round-robin / by-function / least-loaded policies); see router.go and
+// DESIGN.md §13.
 package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"mlcr/internal/evict"
+	"mlcr/internal/obs"
 	"mlcr/internal/obs/perf"
 	"mlcr/internal/platform"
 	"mlcr/internal/pool"
@@ -19,7 +24,10 @@ import (
 	"mlcr/internal/workload"
 )
 
-// Routing selects the worker for each invocation.
+// Routing selects the worker for each invocation — the legacy enum
+// from before the Router registry, kept as sugar: each value names its
+// registry router via String(). New policies (hash, p2c) register by
+// name only; select them with Config.Router.
 type Routing int
 
 const (
@@ -52,8 +60,15 @@ type Config struct {
 	// PoolCapacityMB is the total warm-pool budget, split evenly across
 	// workers (<= 0 means unlimited on every worker).
 	PoolCapacityMB float64
-	// Routing is the front-end policy (default RoundRobin).
+	// Routing is the front-end policy (default RoundRobin). Ignored
+	// when Router names a registry policy directly.
 	Routing Routing
+	// Router names a registered routing policy (see RouterNames());
+	// empty falls back to the Routing enum. Unknown names panic.
+	Router string
+	// RouterSeed salts hash-based routers (ring vnode placement, p2c
+	// probe sequences); 0 is as deterministic as any other value.
+	RouterSeed int64
 	// NewScheduler builds one scheduler per worker. With Parallelism != 1
 	// it is called from concurrent goroutines (one per worker) and must
 	// return an instance no other worker uses; a trained MLCR scheduler
@@ -71,16 +86,33 @@ type Config struct {
 	Evictor string
 	// EvictorSeed seeds per-worker policy instances built via Evictor.
 	EvictorSeed int64
-	// Parallelism bounds concurrently simulated workers: <=0 means
-	// GOMAXPROCS, 1 forces sequential. Workers share nothing, so the
-	// result is bit-identical at any setting.
+	// Parallelism bounds concurrency for both phases of a run: routing
+	// shards (as far as the router's Shards() contract allows) and
+	// worker simulations. <=0 means GOMAXPROCS, 1 forces sequential.
+	// Results are bit-identical at any setting.
 	Parallelism int
 	// Prof, when non-nil, times each front-end routing decision
-	// (perf.PhaseRoute). Routing is sequential, so the caller-owned
-	// profiler needs no synchronization; worker-side phases are
-	// profiled per worker through each platform's own Observer, never
-	// through this one.
+	// (perf.PhaseRoute). Parallel routing shards record into private
+	// profilers built from Prof's clock and merge into Prof at the
+	// end-of-route barrier, so the caller-owned profiler itself is
+	// never written concurrently; worker-side phases are profiled per
+	// worker through each platform's own Observer, never through this
+	// one. When nil, Obs.Perf (if any) takes its place.
 	Prof *perf.Profiler
+	// Obs, when non-nil, receives cluster-level observability: the
+	// per-worker mlcr_cluster_routed_total counters and the route-phase
+	// latency summary land in Obs.Metrics, so cluster runs publish the
+	// same Prometheus surface as single-worker runs. Worker simulations
+	// do not share it — per-worker observers stay per-platform.
+	Obs *obs.Observer
+}
+
+// routerName resolves the configured registry name.
+func (cfg Config) routerName() string {
+	if cfg.Router != "" {
+		return cfg.Router
+	}
+	return cfg.Routing.String()
 }
 
 // Result aggregates a cluster run.
@@ -112,11 +144,13 @@ func (r Result) ColdStarts() int {
 // Run partitions the workload across workers per the routing policy and
 // replays each partition on its worker's platform. Workers are
 // independent simulations: the cluster-level metrics are exact because
-// workers share nothing but the arrival stream. Routing happens first
-// and sequentially (the least-loaded estimator is order-dependent);
-// worker simulations then execute concurrently up to Config.Parallelism,
-// each building its scheduler, evictor and platform in its own
-// goroutine, with results collected in worker order.
+// workers share nothing but the arrival stream. Routing fans out first
+// over the router's shards (see the Router contract), the partitions
+// are materialized in one counting pre-pass, and worker simulations
+// then execute concurrently up to Config.Parallelism, each building
+// its scheduler, evictor and platform in its own goroutine, with
+// results collected in worker order. Every phase is bit-identical at
+// any Parallelism.
 func Run(cfg Config, w workload.Workload) Result {
 	if cfg.Workers < 1 {
 		panic("cluster: Workers must be >= 1")
@@ -138,11 +172,19 @@ func Run(cfg Config, w workload.Workload) Result {
 		perPool /= float64(cfg.Workers)
 	}
 
-	parts := route(cfg, w)
-	res := Result{Routed: make([]int, cfg.Workers)}
-	for i := range parts {
-		res.Routed[i] = len(parts[i])
+	router, err := NewRouter(cfg.routerName(), RouterConfig{Workers: cfg.Workers, Seed: cfg.RouterSeed})
+	if err != nil {
+		panic(err)
 	}
+	prof := cfg.Prof
+	if prof == nil {
+		prof = cfg.Obs.Profiler()
+	}
+	targets := routeTargets(router, w, cfg.Workers, cfg.Parallelism, prof)
+	parts, routed := partition(w, targets, cfg.Workers)
+	publishRouting(cfg.Obs, routed, prof)
+
+	res := Result{Routed: routed}
 	res.PerWorker = runner.Map(cfg.Workers, runner.Options{Parallelism: cfg.Parallelism}, func(i int) *platform.RunResult {
 		var ev pool.Evictor
 		if cfg.NewEvictor != nil {
@@ -155,47 +197,163 @@ func Run(cfg Config, w workload.Workload) Result {
 	return res
 }
 
-// route assigns invocations to workers. LeastLoaded approximates load by
-// outstanding execution time per worker at each arrival (the router
-// cannot see simulated futures, so it tracks a running busy-until
-// estimate per worker).
-func route(cfg Config, w workload.Workload) [][]workload.Invocation {
-	parts := make([][]workload.Invocation, cfg.Workers)
-	busyUntil := make([]time.Duration, cfg.Workers)
-	for i, inv := range w.Invocations {
-		sp := cfg.Prof.Start(perf.PhaseRoute)
-		var target int
-		switch cfg.Routing {
-		case RoundRobin:
-			target = i % cfg.Workers
-		case ByFunction:
-			target = inv.Fn.ID % cfg.Workers
-		case LeastLoaded:
-			target = 0
-			for k := 1; k < cfg.Workers; k++ {
-				if load(busyUntil[k], inv.Arrival) < load(busyUntil[target], inv.Arrival) {
-					target = k
-				}
-			}
-			end := inv.Arrival + inv.Exec
-			if busyUntil[target] > inv.Arrival {
-				end = busyUntil[target] + inv.Exec
-			}
-			busyUntil[target] = end
-		default:
-			panic(fmt.Sprintf("cluster: unknown routing %d", int(cfg.Routing)))
-		}
-		cp := inv
-		cp.Seq = len(parts[target])
-		parts[target] = append(parts[target], cp)
-		sp.End()
-	}
-	return parts
+// Route runs only the front-end of a cluster run — router resolution,
+// the sharded decision loop, and the counting-pre-pass partition —
+// and returns the per-worker routed counts. It is the measurement
+// surface for routing-throughput benchmarks (perfbench's cluster tier,
+// BenchmarkClusterRoute): same code path as Run, no worker simulation.
+func Route(name string, cfg RouterConfig, w workload.Workload, parallelism int, prof *perf.Profiler) []int {
+	r := MustNewRouter(name, cfg)
+	targets := routeTargets(r, w, cfg.Workers, parallelism, prof)
+	_, routed := partition(w, targets, cfg.Workers)
+	return routed
 }
 
-func load(busyUntil, now time.Duration) time.Duration {
-	if busyUntil <= now {
-		return 0
+// routeTargets runs the router over the invocation stream and returns
+// the chosen worker per stream index. The fan-out follows the router's
+// Shards() contract: sequential routers get the classic single loop;
+// fixed-shard routers get one goroutine per interleaved sub-stream;
+// stateless routers are chunked into contiguous blocks sized by the
+// effective parallelism (any chunking yields the same targets, so the
+// block count is free to follow the machine). Each parallel task
+// records route spans into a private profiler merged into prof at the
+// end-of-route barrier.
+func routeTargets(router Router, w workload.Workload, workers, parallelism int, prof *perf.Profiler) []uint32 {
+	router.Begin(w)
+	n := len(w.Invocations)
+	targets := make([]uint32, n)
+
+	routeSpan := func(p *perf.Profiler, shard, i int) {
+		sp := p.Start(perf.PhaseRoute)
+		t := router.Route(shard, i, &w.Invocations[i])
+		sp.End()
+		if uint(t) >= uint(workers) {
+			panic(fmt.Sprintf("cluster: router %q routed invocation %d to worker %d of %d", router.Name(), i, t, workers))
+		}
+		targets[i] = uint32(t)
 	}
-	return busyUntil - now
+
+	switch shards := router.Shards(); {
+	case n == 0:
+		// Nothing to route.
+	case shards == 1:
+		for i := 0; i < n; i++ {
+			routeSpan(prof, 0, i)
+		}
+	case shards == ShardsStateless:
+		blocks := parallelism
+		if blocks <= 0 {
+			blocks = runtime.GOMAXPROCS(0)
+		}
+		if blocks > n {
+			blocks = n
+		}
+		subProfs := shardProfilers(prof, blocks)
+		runner.Map(blocks, runner.Options{Parallelism: parallelism}, func(b int) struct{} {
+			lo, hi := b*n/blocks, (b+1)*n/blocks
+			p := subProf(subProfs, prof, b)
+			for i := lo; i < hi; i++ {
+				routeSpan(p, b, i)
+			}
+			return struct{}{}
+		})
+		mergeProfilers(prof, subProfs)
+	default:
+		subProfs := shardProfilers(prof, shards)
+		runner.Map(shards, runner.Options{Parallelism: parallelism}, func(s int) struct{} {
+			p := subProf(subProfs, prof, s)
+			for i := s; i < n; i += shards {
+				routeSpan(p, s, i)
+			}
+			return struct{}{}
+		})
+		mergeProfilers(prof, subProfs)
+	}
+	return targets
+}
+
+// shardProfilers builds one private profiler per parallel routing task
+// (nil slice when profiling is disabled or a single task would write
+// prof directly anyway).
+func shardProfilers(prof *perf.Profiler, tasks int) []*perf.Profiler {
+	if prof == nil || tasks <= 1 {
+		return nil
+	}
+	out := make([]*perf.Profiler, tasks)
+	for i := range out {
+		out[i] = perf.New(prof.Clock())
+	}
+	return out
+}
+
+// subProf picks task i's profiler: the private shard profiler when
+// fanning out, prof itself when running single-task.
+func subProf(subs []*perf.Profiler, prof *perf.Profiler, i int) *perf.Profiler {
+	if subs == nil {
+		return prof
+	}
+	return subs[i]
+}
+
+// mergeProfilers folds the shard profilers back into prof at the
+// end-of-route barrier. HDR merging is commutative, so the result does
+// not depend on shard completion order.
+func mergeProfilers(prof *perf.Profiler, subs []*perf.Profiler) {
+	for _, s := range subs {
+		prof.Merge(s)
+	}
+}
+
+// partition materializes per-worker invocation streams from the routed
+// targets in one counting pre-pass: worker slices are carved out of a
+// single flat backing array pre-sized exactly, so partitioning costs
+// four allocations per run regardless of worker count or invocation
+// count — no append-grow churn across 1000+ slices. Per-worker Seq is
+// the invocation's position in its partition, preserving arrival order
+// (stream index order) within every worker.
+func partition(w workload.Workload, targets []uint32, workers int) ([][]workload.Invocation, []int) {
+	routed := make([]int, workers)
+	for _, t := range targets {
+		routed[t]++
+	}
+	flat := make([]workload.Invocation, len(targets))
+	parts := make([][]workload.Invocation, workers)
+	starts := make([]int, workers)
+	next := make([]int, workers)
+	off := 0
+	for k := 0; k < workers; k++ {
+		parts[k] = flat[off : off+routed[k]]
+		starts[k] = off
+		next[k] = off
+		off += routed[k]
+	}
+	for i := range w.Invocations {
+		t := targets[i]
+		j := next[t]
+		next[t] = j + 1
+		cp := w.Invocations[i]
+		cp.Seq = j - starts[t]
+		flat[j] = cp
+	}
+	return parts, routed
+}
+
+// publishRouting emits the cluster routing surface into the observer's
+// metrics registry: one mlcr_cluster_routed_total{worker} counter per
+// worker and the route-phase latency summary (same series name and
+// quantiles as Observer.PublishPerf).
+func publishRouting(o *obs.Observer, routed []int, prof *perf.Profiler) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	for w, n := range routed {
+		o.Metrics.Counter(
+			fmt.Sprintf(`mlcr_cluster_routed_total{worker="%d"}`, w),
+			"Invocations routed to each cluster worker.",
+		).Add(int64(n))
+	}
+	if h := prof.Phase(perf.PhaseRoute); h != nil && h.Count() > 0 {
+		o.Metrics.Summary(`mlcr_phase_seconds{phase="route"}`,
+			"Hot-path phase latency by profiler phase.").SetHDR(h)
+	}
 }

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"mlcr/internal/cluster"
+	"mlcr/internal/fstartbench"
+)
+
+func TestClusterGridSmoke(t *testing.T) {
+	w := fstartbench.Build(fstartbench.Uniform, 5, fstartbench.Options{Count: 150})
+	grid := ClusterGrid(w, 4, 4000, nil, nil, Options{Seed: 2})
+	if len(grid.Cells) != len(cluster.RouterNames())*len(grid.Schedulers) {
+		t.Fatalf("grid has %d cells, want %d", len(grid.Cells), len(cluster.RouterNames())*len(grid.Schedulers))
+	}
+	for _, c := range grid.Cells {
+		if c.TotalStartup <= 0 {
+			t.Errorf("%s/%s: no startup latency recorded", c.Router, c.Scheduler)
+		}
+	}
+	if cell := grid.Cell("p2c", "Greedy-Match"); cell == nil {
+		t.Fatal("Cell lookup failed for p2c/Greedy-Match")
+	}
+	if grid.Table() == nil {
+		t.Fatal("grid table is nil")
+	}
+}
+
+func TestClusterGridDeterministic(t *testing.T) {
+	w := fstartbench.Build(fstartbench.Peak, 3, fstartbench.Options{Count: 120})
+	routers := []string{"hash", "p2c", "least-loaded"}
+	scheds := []string{"Greedy-Match", "Tabular-Q"}
+	mk := func(par int) ClusterGridResult {
+		return ClusterGrid(w, 5, 5000, routers, scheds, Options{Seed: 4, Parallelism: par})
+	}
+	seq := mk(1)
+	for _, par := range []int{8, 0} {
+		if got := mk(par); !reflect.DeepEqual(seq, got) {
+			t.Fatalf("cluster grid diverged at parallelism %d", par)
+		}
+	}
+}

@@ -124,6 +124,17 @@ func (p *Profiler) Phase(phase Phase) *HDR {
 // Enabled reports whether the profiler records anything.
 func (p *Profiler) Enabled() bool { return p != nil }
 
+// Clock returns the injected clock (nil on a nil profiler). Callers
+// that fan work out across goroutines use it to build one private
+// Profiler per shard — the Profiler itself is not concurrency-safe —
+// and Merge the shards back afterwards.
+func (p *Profiler) Clock() Clock {
+	if p == nil {
+		return nil
+	}
+	return p.clock
+}
+
 // Reset clears every phase histogram, keeping the clock.
 func (p *Profiler) Reset() {
 	if p == nil {

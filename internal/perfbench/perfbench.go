@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"mlcr/internal/cluster"
 	"mlcr/internal/container"
 	"mlcr/internal/drl"
 	"mlcr/internal/evict"
@@ -37,10 +38,13 @@ const (
 	TierHotPath   = "hotpath"
 	TierPoolEvict = "pool_evict"
 	TierRunner    = "runner"
+	TierCluster   = "cluster"
 )
 
 // Tiers lists every tier in execution order.
-func Tiers() []string { return []string{TierSimCore, TierHotPath, TierPoolEvict, TierRunner} }
+func Tiers() []string {
+	return []string{TierSimCore, TierHotPath, TierPoolEvict, TierRunner, TierCluster}
+}
 
 // Options size a benchmark run.
 type Options struct {
@@ -50,6 +54,10 @@ type Options struct {
 	// SimCoreInvocations overrides the simcore trace size
 	// (default 1000000; 20000 under Quick).
 	SimCoreInvocations int
+	// ClusterInvocations overrides the cluster-tier trace size
+	// (default 2000000; 20000 under Quick). BENCH_cluster.json is
+	// generated at 10000000 via scripts/bench_cluster.sh.
+	ClusterInvocations int
 }
 
 func (o Options) simCoreN() int {
@@ -60,6 +68,36 @@ func (o Options) simCoreN() int {
 		return 20000
 	}
 	return 1000000
+}
+
+func (o Options) clusterN() int {
+	if o.ClusterInvocations > 0 {
+		return o.ClusterInvocations
+	}
+	if o.Quick {
+		return 20000
+	}
+	return 2000000
+}
+
+// clusterRunN sizes the full-cluster ClusterRun entry: a fifth of the
+// routing trace, floored at 400000 outside Quick. The floor keeps the
+// entry's per-op numbers scale-independent — 1000 workers' platform
+// setup amortizes over the run, so a shrunken `-cluster-n` check run
+// would otherwise report inflated allocs/op against a full-scale
+// baseline and trip the regression gate on an artifact.
+func (o Options) clusterRunN() int {
+	n := o.clusterN() / 5
+	if o.Quick {
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	if n < 400000 {
+		n = 400000
+	}
+	return n
 }
 
 // scale picks the full or quick iteration count.
@@ -91,6 +129,8 @@ func Run(tiers []string, opts Options) (*Report, error) {
 			r.Entries = append(r.Entries, poolEvictTier(opts)...)
 		case TierRunner:
 			r.Entries = append(r.Entries, runnerTier(opts))
+		case TierCluster:
+			r.Entries = append(r.Entries, clusterTier(opts)...)
 		default:
 			return nil, fmt.Errorf("unknown tier %q (have %v)", tier, Tiers())
 		}
@@ -290,6 +330,75 @@ func poolEvictTier(opts Options) []Entry {
 				fmt.Sprintf("PoolEvict/%s/%d", name, size), n, func() { cycle(n) }))
 		}
 	}
+	return entries
+}
+
+// --- cluster tier ---
+
+// clusterWorkers is the cluster-tier scale: the 1000-worker deployment
+// the sharded routers are designed for.
+const clusterWorkers = 1000
+
+// clusterRouters are the routing policies the tier times. least-loaded
+// is the sequential O(workers)-scan baseline; hash (consistent ring)
+// and p2c (sharded power-of-two-choices) are the O(log vnodes) / O(1)
+// policies whose speedup over that baseline the cluster acceptance
+// criterion pins (≥5x route throughput at 1000 workers).
+var clusterRouters = []string{"least-loaded", "hash", "p2c"}
+
+// clusterTier measures front-end routing throughput at 1000 workers
+// over the simcore Azure-derived trace: one ClusterRoute entry per
+// routing policy (decision loop + counting-pre-pass partition, no
+// worker simulation), plus one ClusterRun entry replaying the full
+// cluster — routing and 1000 worker simulations — under p2c.
+func clusterTier(opts Options) []Entry {
+	n := opts.clusterN()
+	w := simCoreWorkload(n)
+	var entries []Entry
+	for _, name := range clusterRouters {
+		e := timeRegion(TierCluster,
+			fmt.Sprintf("ClusterRoute/%s/%d", name, clusterWorkers), n, func() {
+				routed := cluster.Route(name, cluster.RouterConfig{Workers: clusterWorkers, Seed: 1}, w, 0, nil)
+				total := 0
+				for _, c := range routed {
+					total += c
+				}
+				if total != n {
+					panic(fmt.Sprintf("perfbench: %s routed %d invocations, want %d", name, total, n))
+				}
+			})
+		e.InvPerSec = 1e9 / e.NsPerOp
+		entries = append(entries, e)
+	}
+
+	// ClusterRun always builds its own exactly-runN trace instead of
+	// slicing the routing trace: the clone catalog scales with the trace
+	// it was built for, so a slice of a bigger trace carries a bigger
+	// function catalog (more distinct functions, more cold starts) and
+	// its per-op numbers would not be comparable across -cluster-n
+	// settings.
+	runN := opts.clusterRunN()
+	rw := simCoreWorkload(runN)
+	cfg := cluster.Config{
+		Workers:        clusterWorkers,
+		PoolCapacityMB: clusterWorkers * 256,
+		Router:         "p2c",
+		RouterSeed:     1,
+		NewScheduler:   func(int) platform.Scheduler { return policy.NewGreedyMatch() },
+	}
+	e := timeRegion(TierCluster,
+		fmt.Sprintf("ClusterRun/p2c/%d", clusterWorkers), runN, func() {
+			res := cluster.Run(cfg, rw)
+			served := 0
+			for _, pr := range res.PerWorker {
+				served += pr.Metrics.Count()
+			}
+			if served != runN {
+				panic(fmt.Sprintf("perfbench: cluster served %d invocations, want %d", served, runN))
+			}
+		})
+	e.InvPerSec = 1e9 / e.NsPerOp
+	entries = append(entries, e)
 	return entries
 }
 

@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench_cluster.sh — regenerate BENCH_cluster.json, the 1000-worker
+# routing-scale record (DESIGN.md §13).
+#
+# cmd/mlcr-perf runs the cluster tier in-process over a 10M-invocation
+# Azure-derived trace: one ClusterRoute entry per routing policy
+# (least-loaded — the sequential O(workers)-scan baseline — plus the
+# consistent-hashing ring and sharded power-of-two-choices) measuring
+# pure front-end throughput (decision loop + counting-pre-pass
+# partition, no worker simulation), and one ClusterRun entry replaying
+# the full cluster including 1000 worker simulations under p2c. The
+# acceptance bar this file records: p2c routes at ≥5x the least-loaded
+# baseline's throughput at 1000 workers, with a 0-alloc steady-state
+# route path.
+#
+# The output is an mlcr-bench-all/v1 report (same schema and machine
+# fingerprint as BENCH_all.json); the previous report's numbers carry
+# into the history array when it came from this machine.
+#
+# INVOCATIONS overrides the trace size (default 10000000).
+#
+# Usage: sh scripts/bench_cluster.sh   (or `make bench-cluster`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_cluster.json
+INVOCATIONS="${INVOCATIONS:-10000000}"
+
+go run ./cmd/mlcr-perf -tiers cluster -cluster-n "$INVOCATIONS" -out "$OUT" -baseline "$OUT"
+go run ./cmd/mlcr-perf -validate "$OUT"
