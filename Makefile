@@ -8,9 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Static analysis: the standard go vet plus mlcr-vet, the project's own
-# analyzers enforcing the determinism and hot-path contracts
-# (DESIGN.md §9). Also part of make check via scripts/check.sh.
+# Static analysis: the standard go vet plus mlcr-vet, the project's
+# ten analyzers enforcing the determinism and hot-path contracts over
+# the typed module call graph (DESIGN.md §9, §14). Machine-readable
+# output via `go run ./cmd/mlcr-vet -json ./...` (or -sarif). Also
+# part of make check via scripts/check.sh.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/mlcr-vet ./...

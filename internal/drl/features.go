@@ -90,6 +90,7 @@ func satur(d time.Duration, norm time.Duration) float64 {
 	return float64(d) / float64(d+norm)
 }
 
+//mlcr:allow hotalloc the fnv digest and byte view are inlined and do not escape; the feature path is pinned alloc-free by BenchmarkFeaturize
 func hashBucket(s string) int {
 	h := fnv.New32a()
 	h.Write([]byte(s))

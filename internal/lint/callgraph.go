@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Module is the unit CheckAll analyzes: every loaded package plus the
+// lazily built cross-package facilities the contract-depth analyzers
+// share — the typed call graph and (for hotalloc) the hot-path
+// reachability closure. Facilities are built at most once per run, on
+// first use, and are safe to consult from concurrent passes.
+type Module struct {
+	Pkgs []*Package
+
+	cgOnce sync.Once
+	cg     *CallGraph
+
+	hotOnce sync.Once
+	hot     map[*types.Func]string
+}
+
+// NewModule wraps the loaded packages for one analysis run.
+func NewModule(pkgs []*Package) *Module { return &Module{Pkgs: pkgs} }
+
+// CallGraph returns the module's call graph, building it on first use.
+func (m *Module) CallGraph() *CallGraph {
+	m.cgOnce.Do(func() { m.cg = buildCallGraph(m.Pkgs) })
+	return m.cg
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Callee *FuncNode
+	Pos    token.Pos
+	// Cold marks call sites inside evidently-cold regions: panic
+	// arguments and branches that end in panic. Hot-path reachability
+	// does not traverse cold edges — a panic guard's fmt.Sprintf is
+	// the failure path, not the steady state.
+	Cold bool
+}
+
+// FuncNode is one function or method declared (with a body) in the
+// loaded packages.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Edges are the node's resolved call sites in source order: static
+	// calls to loaded functions, plus interface calls expanded to every
+	// loaded implementation (conservative resolution — the evict/
+	// cluster/scheduler registries dispatch through interfaces, so
+	// every registered implementation is a possible callee).
+	Edges []Edge
+	// cold are the node's evidently-cold source ranges (shared with
+	// hotalloc's allocation-site scan).
+	cold []posRange
+}
+
+// Label renders the node as package.(*Recv).Name for findings and
+// tests, with the module prefix trimmed.
+func (n *FuncNode) Label() string {
+	name := n.Obj.Name()
+	if recv := n.Obj.Type().(*types.Signature).Recv(); recv != nil {
+		rt := recv.Type()
+		ptr := ""
+		if p, ok := rt.(*types.Pointer); ok {
+			rt, ptr = p.Elem(), "*"
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name = "(" + ptr + named.Obj().Name() + ")." + name
+		}
+	}
+	return shortPath(n.Pkg.Path) + "." + name
+}
+
+// shortPath trims the mlcr/internal/ prefix for display.
+func shortPath(path string) string {
+	if rest, ok := strings.CutPrefix(path, internalPrefix); ok {
+		return rest
+	}
+	return path
+}
+
+// posRange is a half-open source region [from, to).
+type posRange struct{ from, to token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.from && p < r.to }
+
+// inCold reports whether pos falls in one of the node's cold regions.
+func (n *FuncNode) inCold(pos token.Pos) bool {
+	for _, r := range n.cold {
+		if r.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// CallGraph holds one static call graph over the loaded packages,
+// with interface calls resolved conservatively to every loaded
+// implementation.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	// named lists every named (non-interface) type in the loaded
+	// packages, in deterministic (package, name) order — the candidate
+	// set for interface resolution.
+	named []*types.Named
+	// impls caches interface-method resolution keyed by the interface
+	// method object.
+	impls map[*types.Func][]*FuncNode
+}
+
+// Node returns the graph node for a declared function object, or nil
+// for functions without loaded bodies (dependencies, func values).
+func (g *CallGraph) Node(obj *types.Func) *FuncNode { return g.nodes[obj] }
+
+// Lookup finds a node by package path, receiver type name ("" for
+// package-level functions) and method name — the test-friendly
+// accessor.
+func (g *CallGraph) Lookup(pkgPath, recv, name string) *FuncNode {
+	for _, n := range g.sortedNodes() {
+		if n.Pkg.Path != pkgPath || n.Obj.Name() != name {
+			continue
+		}
+		if recvTypeName(n.Obj) == recv {
+			return n
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the bare receiver type name of a method ("" for
+// package-level functions).
+func recvTypeName(obj *types.Func) string {
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// sortedNodes returns every node in deterministic (package, position)
+// order.
+func (g *CallGraph) sortedNodes() []*FuncNode {
+	out := make([]*FuncNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg.Path != out[j].Pkg.Path {
+			return out[i].Pkg.Path < out[j].Pkg.Path
+		}
+		return out[i].Decl.Pos() < out[j].Decl.Pos()
+	})
+	return out
+}
+
+// buildCallGraph indexes every declared function and resolves each
+// node's call sites. Single-threaded by construction (guarded by
+// Module.cgOnce); all later reads are immutable.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		nodes: make(map[*types.Func]*FuncNode),
+		impls: make(map[*types.Func][]*FuncNode),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[obj] = &FuncNode{Obj: obj, Decl: fd, Pkg: pkg}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			g.named = append(g.named, named)
+		}
+	}
+	sort.Slice(g.named, func(i, j int) bool {
+		a, b := g.named[i].Obj(), g.named[j].Obj()
+		if a.Pkg().Path() != b.Pkg().Path() {
+			return a.Pkg().Path() < b.Pkg().Path()
+		}
+		return a.Name() < b.Name()
+	})
+	for _, n := range g.sortedNodes() {
+		g.resolveEdges(n)
+	}
+	return g
+}
+
+// resolveEdges fills one node's cold regions and call edges.
+func (g *CallGraph) resolveEdges(n *FuncNode) {
+	n.cold = coldRegions(n.Decl.Body)
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := calleeObj(info, call).(*types.Func)
+		if !ok {
+			return true // builtin, conversion, or func-value call
+		}
+		cold := n.inCold(call.Pos())
+		sig := obj.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			for _, impl := range g.implementations(obj) {
+				n.Edges = append(n.Edges, Edge{Callee: impl, Pos: call.Pos(), Cold: cold})
+			}
+			return true
+		}
+		if callee := g.nodes[obj]; callee != nil {
+			n.Edges = append(n.Edges, Edge{Callee: callee, Pos: call.Pos(), Cold: cold})
+		}
+		return true
+	})
+}
+
+// implementations resolves an interface method conservatively: every
+// loaded named type whose method set satisfies the interface
+// contributes its concrete method. This is how registry-dispatched
+// calls (evict.Policy, cluster.Router, platform.Scheduler) resolve to
+// the whole zoo. Called only during the single-threaded build.
+func (g *CallGraph) implementations(ifaceMethod *types.Func) []*FuncNode {
+	if impls, ok := g.impls[ifaceMethod]; ok {
+		return impls
+	}
+	iface, ok := ifaceMethod.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	var impls []*FuncNode
+	if ok {
+		for _, named := range g.named {
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			sel := types.NewMethodSet(ptr).Lookup(ifaceMethod.Pkg(), ifaceMethod.Name())
+			if sel == nil {
+				continue
+			}
+			if m, ok := sel.Obj().(*types.Func); ok {
+				if node := g.nodes[m]; node != nil {
+					impls = append(impls, node)
+				}
+			}
+		}
+	}
+	g.impls[ifaceMethod] = impls
+	return impls
+}
+
+// coldRegions collects a body's evidently-cold source ranges: panic
+// call arguments, and if/case branches whose last statement panics —
+// the ubiquitous `if bad { panic(fmt.Sprintf(...)) }` guard idiom.
+// Allocations and calls there are failure-path, not steady-state.
+func coldRegions(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				out = append(out, posRange{from: s.Pos(), to: s.End()})
+			}
+		case *ast.IfStmt:
+			if endsInPanic(s.Body.List) {
+				out = append(out, posRange{from: s.Body.Pos(), to: s.Body.End()})
+			}
+			if blk, ok := s.Else.(*ast.BlockStmt); ok && endsInPanic(blk.List) {
+				out = append(out, posRange{from: blk.Pos(), to: blk.End()})
+			}
+		case *ast.CaseClause:
+			if endsInPanic(s.Body) {
+				out = append(out, posRange{from: s.Pos(), to: s.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// endsInPanic reports whether a statement list terminates in a call to
+// the panic builtin.
+func endsInPanic(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	es, ok := list[len(list)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// funcLabel renders a types.Func for messages, mirroring Label for
+// objects that may lack a node.
+func funcLabel(obj *types.Func) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	name := obj.Name()
+	if recv := recvTypeName(obj); recv != "" {
+		name = "(" + recv + ")." + name
+	}
+	return fmt.Sprintf("%s.%s", shortPath(obj.Pkg().Path()), name)
+}

@@ -1,19 +1,26 @@
 // Package lint is the repository's project-specific static-analysis
-// framework: a small analyzer runner built on the standard library's
-// go/parser and go/types (the module stays dependency-free), plus the
-// six mlcr-vet analyzers that mechanically enforce the simulator's
-// determinism and hot-path contracts (DESIGN.md §9).
+// framework: an analyzer runner built on the standard library's
+// go/parser and go/types (the module stays dependency-free), a typed
+// cross-package call graph with conservative interface resolution
+// (callgraph.go), and the ten mlcr-vet analyzers that mechanically
+// enforce the simulator's determinism and hot-path contracts
+// (DESIGN.md §9, §14).
 //
 // An Analyzer inspects one type-checked package at a time through a
-// Pass and reports Findings. Findings can be suppressed — explicitly
-// and auditably — with a directive comment on the offending line or
-// the line directly above it:
+// Pass and reports Findings; module-wide facilities (the call graph,
+// the raw test-file corpus) are shared through the Pass's Module.
+// Findings can be suppressed — explicitly and auditably — with a
+// directive comment:
 //
 //	//mlcr:allow <analyzer> <reason>
 //
-// A directive with a missing or unknown analyzer name, or no reason,
-// is itself reported as a finding, so suppressions cannot rot
-// silently.
+// A whole-line directive suppresses findings on the next line; a
+// directive trailing code suppresses findings on its own line only
+// (so an allow on one declaration can never silently absorb a finding
+// on the following one). A directive with a missing or unknown
+// analyzer name, or no reason, is itself reported as a finding, so
+// suppressions cannot rot silently; Options.UnusedAllow additionally
+// reports directives that no longer suppress anything.
 package lint
 
 import (
@@ -21,8 +28,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Analyzer is one project-specific check. Run inspects the package in
@@ -43,6 +53,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Mod exposes the module-wide facilities — call graph, sibling
+	// packages, test corpus — shared by every pass of one Check run.
+	Mod *Module
+
+	pkg      *Package
 	findings *[]Finding
 }
 
@@ -55,11 +70,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Allowed reports whether an //mlcr:allow directive for this pass's
+// analyzer anchors at pos (trailing on its line, or whole-line on the
+// line above), marking the directive used. Analyzers use it for
+// structural carve-outs that are cheaper than reporting-and-
+// suppressing — hotalloc prunes whole functions from its hot-path
+// walk when the function declaration carries an allow.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	f := p.Fset.Position(pos)
+	for _, d := range p.pkg.packageDirectives(nil) {
+		if d.analyzer == p.Analyzer.Name && d.file == f.Filename && d.suppressesLine(f.Line) {
+			d.used.Store(true)
+			return true
+		}
+	}
+	return false
+}
+
 // Finding is one reported contract violation.
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks findings absorbed by an //mlcr:allow directive.
+	// The default human output drops them; -json and -sarif keep them,
+	// flagged, so consumers can audit what the directives absorb.
+	Suppressed bool
 }
 
 // String renders the finding in the canonical
@@ -70,7 +106,10 @@ func (f Finding) String() string {
 
 // All returns the full mlcr-vet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, DetRand, MapRange, MarkUpdated, ErrCheck, NewImage}
+	return []*Analyzer{
+		Walltime, DetRand, MapRange, MarkUpdated, ErrCheck, NewImage,
+		HotAlloc, ShardSafe, PooledLife, RegistryCheck,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list against All,
@@ -101,81 +140,246 @@ func ByName(names string) ([]*Analyzer, error) {
 // allowPrefix introduces a suppression directive comment.
 const allowPrefix = "//mlcr:allow"
 
-// directive is one parsed //mlcr:allow comment.
+// directive is one parsed //mlcr:allow comment. A directive anchors
+// to exactly one line: its own when it trails code, the next when it
+// occupies a whole line (a whole-line comment cannot carry a finding
+// itself, so "own line" would anchor to nothing).
 type directive struct {
-	file     string
-	line     int
-	analyzer string
+	file       string
+	line       int
+	analyzer   string
+	standalone bool // whole-line comment (only whitespace precedes it)
+
+	// used flips when the directive suppresses a finding or answers an
+	// Allowed query. atomic: the hot-path walk (built once, module-
+	// wide) and per-package suppression run on different goroutines.
+	used atomic.Bool
 }
 
-// collectDirectives parses every //mlcr:allow directive in the
+// suppressesLine reports whether the directive anchors to line.
+func (d *directive) suppressesLine(line int) bool {
+	if d.standalone {
+		return line == d.line+1
+	}
+	return line == d.line
+}
+
+// packageDirectives parses (once) every //mlcr:allow directive in the
 // package. Malformed directives (missing analyzer, unknown analyzer,
 // missing reason) are reported as findings under the "directive"
 // analyzer name so they fail the build instead of silently allowing —
-// or silently not allowing — anything.
-func collectDirectives(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, msg string)) []directive {
-	known := make(map[string]bool)
-	for _, a := range All() {
-		known[a.Name] = true
-	}
-	var out []directive
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
-					continue
-				}
-				rest := strings.TrimPrefix(c.Text, allowPrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // some other //mlcr:allowX token, not ours
-				}
-				fields := strings.Fields(rest)
-				switch {
-				case len(fields) == 0:
-					report(c.Pos(), "directive needs an analyzer name and a reason: //mlcr:allow <analyzer> <reason>")
-				case !known[fields[0]]:
-					report(c.Pos(), fmt.Sprintf("directive names unknown analyzer %q", fields[0]))
-				case len(fields) == 1:
-					report(c.Pos(), fmt.Sprintf("//mlcr:allow %s needs a reason — suppressions must be auditable", fields[0]))
-				default:
-					pos := fset.Position(c.Pos())
-					out = append(out, directive{file: pos.Filename, line: pos.Line, analyzer: fields[0]})
+// or silently not allowing — anything; report receives them (nil
+// report callers get the cached directives only).
+func (pkg *Package) packageDirectives(report func(f Finding)) []*directive {
+	pkg.dirOnce.Do(func() {
+		known := make(map[string]bool)
+		for _, a := range All() {
+			known[a.Name] = true
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // some other //mlcr:allowX token, not ours
+					}
+					badf := func(msg string) {
+						pkg.dirBroken = append(pkg.dirBroken, Finding{
+							Pos: pkg.Fset.Position(c.Pos()), Analyzer: "directive", Message: msg,
+						})
+					}
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						badf("directive needs an analyzer name and a reason: //mlcr:allow <analyzer> <reason>")
+					case !known[fields[0]]:
+						badf(fmt.Sprintf("directive names unknown analyzer %q", fields[0]))
+					case len(fields) == 1:
+						badf(fmt.Sprintf("//mlcr:allow %s needs a reason — suppressions must be auditable", fields[0]))
+					default:
+						pos := pkg.Fset.Position(c.Pos())
+						pkg.dirs = append(pkg.dirs, &directive{
+							file:       pos.Filename,
+							line:       pos.Line,
+							analyzer:   fields[0],
+							standalone: startsLine(pkg.Src[pos.Filename], pos),
+						})
+					}
 				}
 			}
 		}
+	})
+	if report != nil {
+		for _, f := range pkg.dirBroken {
+			report(f)
+		}
 	}
-	return out
+	return pkg.dirs
 }
 
-// Check runs the analyzers over every package, applies //mlcr:allow
-// suppressions, and returns the surviving findings sorted by position
-// together with the number of findings suppressed by directives.
-func Check(pkgs []*Package, analyzers []*Analyzer) (findings []Finding, suppressed int) {
-	for _, pkg := range pkgs {
-		var raw []Finding
-		dirs := collectDirectives(pkg.Fset, pkg.Files, func(pos token.Pos, msg string) {
-			raw = append(raw, Finding{Pos: pkg.Fset.Position(pos), Analyzer: "directive", Message: msg})
-		})
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Path:     pkg.Path,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				findings: &raw,
-			}
-			a.Run(pass)
-		}
-		for _, f := range raw {
-			if allowedBy(dirs, f) {
-				suppressed++
-				continue
-			}
-			findings = append(findings, f)
+// startsLine reports whether only whitespace precedes the position on
+// its source line. Missing source (defensive; Load and LoadFixture
+// always record it) falls back to trailing semantics, the stricter
+// anchoring.
+func startsLine(src []byte, pos token.Position) bool {
+	if src == nil || pos.Offset > len(src) {
+		return false
+	}
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case ' ', '\t':
+			continue
+		case '\n':
+			return true
+		default:
+			return false
 		}
 	}
+	return true // first line of the file
+}
+
+// Options tunes a CheckAll run.
+type Options struct {
+	// Parallelism caps concurrent per-package analysis; <= 0 means
+	// GOMAXPROCS. Output is deterministic at any value: findings are
+	// sorted by (file, line, column, analyzer, message) after the
+	// parallel phase.
+	Parallelism int
+	// UnusedAllow reports //mlcr:allow directives that suppressed no
+	// finding (and answered no analyzer carve-out query) as findings
+	// under the "unused-allow" name, so stale suppressions are flushed
+	// out when the code they excused improves.
+	UnusedAllow bool
+}
+
+// Result is the outcome of a CheckAll run.
+type Result struct {
+	// Findings are the surviving findings, position-sorted.
+	Findings []Finding
+	// All additionally includes the suppressed findings (flagged), in
+	// the same order — the -json/-sarif payload.
+	All []Finding
+	// Suppressed counts findings absorbed by //mlcr:allow directives.
+	Suppressed int
+	// Packages and Analyzers echo the run's scope for summaries.
+	Packages, Analyzers int
+}
+
+// Check runs the analyzers over every package with default options and
+// returns the surviving findings plus the suppressed count — the
+// historical two-value surface most tests consume.
+func Check(pkgs []*Package, analyzers []*Analyzer) (findings []Finding, suppressed int) {
+	res := CheckAll(pkgs, analyzers, Options{})
+	return res.Findings, res.Suppressed
+}
+
+// CheckAll runs the analyzers over every package — in parallel across
+// packages — applies //mlcr:allow suppressions, de-duplicates, and
+// returns the findings sorted by position. Module-wide facilities
+// (call graph, hot-path reachability) are built once, on first use,
+// and shared by every pass.
+func CheckAll(pkgs []*Package, analyzers []*Analyzer, opts Options) Result {
+	mod := NewModule(pkgs)
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(pkgs) {
+		par = len(pkgs)
+	}
+	if par < 1 {
+		par = 1
+	}
+
+	perPkg := make([][]Finding, len(pkgs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perPkg[i] = checkPackage(mod, pkgs[i], analyzers, opts)
+			}
+		}()
+	}
+	for i := range pkgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var all []Finding
+	for _, fs := range perPkg {
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	all = dedupFindings(all)
+
+	res := Result{All: all, Packages: len(pkgs), Analyzers: len(analyzers)}
+	for _, f := range all {
+		if f.Suppressed {
+			res.Suppressed++
+		} else {
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	return res
+}
+
+// checkPackage runs every analyzer over one package and applies the
+// package's directives. Unused-allow evaluation is safe here even
+// though the hot-path walk marks prune directives from another
+// goroutine: the walk is built (once) synchronously inside this
+// package's own hotalloc pass, which runs before the evaluation below.
+func checkPackage(mod *Module, pkg *Package, analyzers []*Analyzer, opts Options) []Finding {
+	var raw []Finding
+	dirs := pkg.packageDirectives(func(f Finding) { raw = append(raw, f) })
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Mod:      mod,
+			pkg:      pkg,
+			findings: &raw,
+		}
+		a.Run(pass)
+	}
+	for i := range raw {
+		if d := allowedBy(dirs, &raw[i]); d != nil {
+			d.used.Store(true)
+			raw[i].Suppressed = true
+		}
+	}
+	if opts.UnusedAllow {
+		for _, d := range dirs {
+			// Only judge directives whose analyzer actually ran: a
+			// partial -run invocation cannot tell whether the others'
+			// directives still earn their keep.
+			if ran[d.analyzer] && !d.used.Load() {
+				raw = append(raw, Finding{
+					Pos:      token.Position{Filename: d.file, Line: d.line},
+					Analyzer: "unused-allow",
+					Message:  fmt.Sprintf("//mlcr:allow %s suppresses nothing — the finding it excused is gone; delete the directive", d.analyzer),
+				})
+			}
+		}
+	}
+	return raw
+}
+
+// sortFindings orders findings by (file, line, column, analyzer,
+// message) — the deterministic output contract at any parallelism.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -187,25 +391,43 @@ func Check(pkgs []*Package, analyzers []*Analyzer) (findings []Finding, suppress
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings, suppressed
 }
 
-// allowedBy reports whether a directive on the finding's line, or the
-// line directly above it, names the finding's analyzer. Directive
-// findings themselves are never suppressible.
-func allowedBy(dirs []directive, f Finding) bool {
-	if f.Analyzer == "directive" {
-		return false
+// dedupFindings drops exact duplicates (same position, analyzer and
+// message) from a sorted slice. Two analyzers sharing a helper, or one
+// site reachable along two call paths, must cost the reader one line.
+func dedupFindings(findings []Finding) []Finding {
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 {
+			p := findings[i-1]
+			if p.Pos == f.Pos && p.Analyzer == f.Analyzer && p.Message == f.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// allowedBy returns the directive that suppresses the finding, or nil.
+// Directive and unused-allow findings themselves are never
+// suppressible.
+func allowedBy(dirs []*directive, f *Finding) *directive {
+	if f.Analyzer == "directive" || f.Analyzer == "unused-allow" {
+		return nil
 	}
 	for _, d := range dirs {
-		if d.analyzer == f.Analyzer && d.file == f.Pos.Filename &&
-			(d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
-			return true
+		if d.analyzer == f.Analyzer && d.file == f.Pos.Filename && d.suppressesLine(f.Pos.Line) {
+			return d
 		}
 	}
-	return false
+	return nil
 }
 
 // pkgPathOf returns the import path of the package a selector selects

@@ -26,9 +26,10 @@ func fixtureDir(name string) string {
 	return filepath.Join("testdata", "src", name)
 }
 
-// wantRe extracts the backtick-quoted expectation from a
-// "// want `regex`" comment.
-var wantRe = regexp.MustCompile("// want `([^`]+)`")
+// wantRe extracts the backtick-quoted expectations from a
+// "// want `regex` `regex`..." comment (one per expected finding on
+// the line).
+var wantRe = regexp.MustCompile("`([^`]+)`")
 
 // wantsOf harvests the // want expectations of a fixture package,
 // keyed "file:line".
@@ -38,17 +39,18 @@ func wantsOf(t *testing.T, pkg *lint.Package) map[string][]*regexp.Regexp {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				if !strings.HasPrefix(c.Text, "// want `") {
 					continue
 				}
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], re)
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				wants[key] = append(wants[key], re)
 			}
 		}
 	}

@@ -13,7 +13,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
+	"sync"
 )
 
 // Package is one parsed, type-checked package ready for analysis.
@@ -24,16 +27,55 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Src holds each parsed file's source bytes, keyed by filename.
+	// The directive matcher uses it to distinguish a trailing
+	// //mlcr:allow (suppresses its own line) from a whole-line one
+	// (suppresses the next line).
+	Src map[string][]byte
+
+	// TestFiles are the package's _test.go file paths (internal and
+	// external test files). They are never parsed or type-checked —
+	// benchmarks legitimately time things — but registrycheck scans
+	// their raw text to prove every registered policy/router name is
+	// exercised by the test harness.
+	TestFiles []string
+
+	// directives caches the package's parsed //mlcr:allow comments
+	// (built on first use by Check or an analyzer's Allowed query).
+	dirOnce    sync.Once
+	dirs       []*directive
+	dirBroken  []Finding
+	testOnce   sync.Once
+	testCorpus []testFile
+}
+
+// testFile is one raw test source the registrycheck corpus scans.
+type testFile struct {
+	path string
+	text string
 }
 
 // listedPkg mirrors the `go list -json` fields the loader consumes.
 type listedPkg struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	Export     string
-	DepOnly    bool
-	Standard   bool
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	DepOnly      bool
+	Standard     bool
+}
+
+// listCache memoizes `go list` runs and the union of every listed
+// package seen so far. Loading the module and then a dozen test
+// fixtures shares one heavily overlapping dependency closure; caching
+// turns all but the first subprocess round-trip into map lookups.
+var listCache struct {
+	sync.Mutex
+	exact map[string][]listedPkg // (dir, patterns) -> full result
+	deps  map[string]listedPkg   // ImportPath -> entry, across all runs
 }
 
 // goList runs `go list -deps -export -json` in dir over the patterns
@@ -41,11 +83,24 @@ type listedPkg struct {
 // compile each package and report the path of its export data in the
 // build cache — the same resolution strategy `go vet` uses, and the
 // reason this loader needs no dependency beyond the go toolchain
-// already required to build the module.
+// already required to build the module. Results are memoized
+// process-wide (the build cache makes re-listing idempotent).
 func goList(dir string, patterns ...string) ([]listedPkg, error) {
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	listCache.Lock()
+	if listCache.exact == nil {
+		listCache.exact = make(map[string][]listedPkg)
+		listCache.deps = make(map[string]listedPkg)
+	}
+	if pkgs, ok := listCache.exact[key]; ok {
+		listCache.Unlock()
+		return pkgs, nil
+	}
+	listCache.Unlock()
+
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard",
+		"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Export,DepOnly,Standard",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -65,7 +120,33 @@ func goList(dir string, patterns ...string) ([]listedPkg, error) {
 		}
 		pkgs = append(pkgs, p)
 	}
+	listCache.Lock()
+	listCache.exact[key] = pkgs
+	for _, p := range pkgs {
+		listCache.deps[p.ImportPath] = p
+	}
+	listCache.Unlock()
 	return pkgs, nil
+}
+
+// cachedClosure returns the memoized dependency-closure entries when
+// every requested import path has already been listed by an earlier
+// goList run (any run: `go list -deps` returns transitive closures, so
+// the union of past runs resolves any import the cached paths reach).
+func cachedClosure(paths []string) ([]listedPkg, bool) {
+	listCache.Lock()
+	defer listCache.Unlock()
+	for _, p := range paths {
+		if _, ok := listCache.deps[p]; !ok {
+			return nil, false
+		}
+	}
+	out := make([]listedPkg, 0, len(listCache.deps))
+	for _, lp := range listCache.deps {
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, true
 }
 
 // exportImporter builds a types.Importer that resolves every import
@@ -88,6 +169,26 @@ func exportImporter(fset *token.FileSet, listed []listedPkg) types.Importer {
 	})
 }
 
+// moduleImporter resolves imports of already source-checked module
+// packages to those exact *types.Package values, falling back to
+// export data for everything else. Object identity is what makes the
+// cross-package call graph work: platform's reference to
+// sim.(*Engine).ScheduleKindSeq must be the same *types.Func the sim
+// package declared, or the graph would stop at every package boundary.
+// `go list -deps` streams dependencies before dependents, so by the
+// time a package is checked its module imports are all in source.
+type moduleImporter struct {
+	gc     types.Importer
+	source map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.source[path]; ok {
+		return p, nil
+	}
+	return m.gc.Import(path)
+}
+
 // newInfo allocates the types.Info maps the analyzers consume.
 func newInfo() *types.Info {
 	return &types.Info{
@@ -97,6 +198,20 @@ func newInfo() *types.Info {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Implicits:  make(map[ast.Node]types.Object),
 	}
+}
+
+// parseInto reads and parses one Go file, recording its source bytes.
+func parseInto(fset *token.FileSet, path string, src map[string][]byte) (*ast.File, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := parser.ParseFile(fset, path, text, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	src[path] = text
+	return f, nil
 }
 
 // Load parses and type-checks the module packages matching the go
@@ -109,15 +224,19 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := exportImporter(fset, listed)
+	imp := &moduleImporter{
+		gc:     exportImporter(fset, listed),
+		source: make(map[string]*types.Package),
+	}
 	var out []*Package
 	for _, lp := range listed {
 		if lp.DepOnly || lp.Standard {
 			continue
 		}
+		src := make(map[string][]byte, len(lp.GoFiles))
 		files := make([]*ast.File, 0, len(lp.GoFiles))
 		for _, name := range lp.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			f, err := parseInto(fset, filepath.Join(lp.Dir, name), src)
 			if err != nil {
 				return nil, err
 			}
@@ -128,13 +247,23 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
 		}
+		imp.source[lp.ImportPath] = tpkg
+		var tests []string
+		for _, name := range lp.TestGoFiles {
+			tests = append(tests, filepath.Join(lp.Dir, name))
+		}
+		for _, name := range lp.XTestGoFiles {
+			tests = append(tests, filepath.Join(lp.Dir, name))
+		}
 		out = append(out, &Package{
-			Path:  lp.ImportPath,
-			Dir:   lp.Dir,
-			Fset:  fset,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
+			Path:      lp.ImportPath,
+			Dir:       lp.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			Info:      info,
+			Src:       src,
+			TestFiles: tests,
 		})
 	}
 	if len(out) == 0 {
@@ -147,8 +276,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // fixture under testdata/, invisible to the go tool) as though its
 // import path were as — the path decides analyzer scoping, so tests
 // place fixtures inside or outside the deterministic package set at
-// will. Imports are resolved exactly like Load resolves them, with
-// moduleDir as the go list working directory.
+// will. Files named *_test.go in the fixture directory are not parsed;
+// they become the fixture's raw test corpus, exactly as real _test.go
+// files do for Load. Imports are resolved exactly like Load resolves
+// them, with moduleDir as the go list working directory.
 func LoadFixture(moduleDir, fixtureDir, as string) (*Package, error) {
 	entries, err := os.ReadDir(fixtureDir)
 	if err != nil {
@@ -156,12 +287,19 @@ func LoadFixture(moduleDir, fixtureDir, as string) (*Package, error) {
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
+	var tests []string
+	src := make(map[string][]byte)
 	imports := make(map[string]bool)
 	for _, e := range entries {
 		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(fixtureDir, e.Name()), nil, parser.ParseComments)
+		path := filepath.Join(fixtureDir, e.Name())
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			tests = append(tests, path)
+			continue
+		}
+		f, err := parseInto(fset, path, src)
 		if err != nil {
 			return nil, err
 		}
@@ -185,8 +323,12 @@ func LoadFixture(moduleDir, fixtureDir, as string) (*Package, error) {
 		for p := range imports {
 			paths = append(paths, p)
 		}
-		if listed, err = goList(moduleDir, paths...); err != nil {
-			return nil, err
+		sort.Strings(paths)
+		var ok bool
+		if listed, ok = cachedClosure(paths); !ok {
+			if listed, err = goList(moduleDir, paths...); err != nil {
+				return nil, err
+			}
 		}
 	}
 	info := newInfo()
@@ -195,5 +337,22 @@ func LoadFixture(moduleDir, fixtureDir, as string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking fixture %s: %v", fixtureDir, err)
 	}
-	return &Package{Path: as, Dir: fixtureDir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+	return &Package{
+		Path: as, Dir: fixtureDir, Fset: fset, Files: files,
+		Types: tpkg, Info: info, Src: src, TestFiles: tests,
+	}, nil
+}
+
+// testCorpusOf lazily reads the package's raw test files.
+func (pkg *Package) testCorpusOf() []testFile {
+	pkg.testOnce.Do(func() {
+		for _, path := range pkg.TestFiles {
+			text, err := os.ReadFile(path)
+			if err != nil {
+				continue // deleted mid-run; registrycheck treats it as absent
+			}
+			pkg.testCorpus = append(pkg.testCorpus, testFile{path: path, text: string(text)})
+		}
+	})
+	return pkg.testCorpus
 }

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PooledLife enforces the two pooled-object lifetime contracts the
+// engine's zero-alloc design leans on:
+//
+//   - The sim event slab (DESIGN.md §10): *Event structs are recycled
+//     onto a free list the moment they are released, so any use of an
+//     event variable after it was passed to recycle/Release (or
+//     released through a method call on it) reads a struct that may
+//     already belong to a newer event. The engine's dispatch copies
+//     the fields out first for exactly this reason.
+//   - The evict PolicyCookie intrusive slot (DESIGN.md §12): the
+//     cookie is the owning eviction policy's private bookkeeping
+//     (heap index, ring position). Reading or writing it outside code
+//     reachable from a policy's own methods couples foreign code to
+//     a representation that changes per policy.
+//
+// The event check is a per-block linear scan: a release call kills the
+// variable for the rest of its block (reassignment revives it). The
+// cookie check uses the module call graph: access is legal only in
+// functions reachable from the methods of a type implementing
+// evict.Policy in the same package.
+var PooledLife = &Analyzer{
+	Name: "pooledlife",
+	Doc:  "no use of a pooled sim event after release/recycle; no PolicyCookie access outside the owning eviction policy",
+	Run:  runPooledLife,
+}
+
+func runPooledLife(p *Pass) {
+	checkEventLifetimes(p)
+	checkCookieOwnership(p)
+}
+
+// --- pooled event use-after-release ---
+
+// releaseFuncs are the function/method names that surrender a pooled
+// event to the free list.
+var releaseFuncs = map[string]bool{"recycle": true, "Release": true}
+
+func checkEventLifetimes(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanBlockForStaleEvents(p, fd.Body.List, map[types.Object]token.Position{})
+		}
+	}
+}
+
+// scanBlockForStaleEvents walks one statement list in order, tracking
+// which pooled-event variables have been released. Nested blocks
+// inherit a copy of the parent's kill set (a kill inside a branch does
+// not propagate out — conservative, no false positives from one-armed
+// ifs).
+func scanBlockForStaleEvents(p *Pass, stmts []ast.Stmt, killed map[types.Object]token.Position) {
+	for _, stmt := range stmts {
+		// Uses before this statement's own kill/revive effects.
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				reportStaleUses(p, rhs, killed)
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := defOrUse(p, id); obj != nil {
+						delete(killed, obj) // reassignment revives
+						continue
+					}
+				}
+				reportStaleUses(p, lhs, killed)
+			}
+		case *ast.ExprStmt:
+			if obj, pos, ok := releaseTarget(p, s.X); ok {
+				reportStaleUses(p, s.X, killed) // args other than the event
+				killed[obj] = p.Fset.Position(pos)
+				continue
+			}
+			reportStaleUses(p, s.X, killed)
+		case *ast.BlockStmt:
+			scanBlockForStaleEvents(p, s.List, copyKills(killed))
+		case *ast.IfStmt:
+			if s.Init != nil {
+				reportStaleUses(p, s.Init, killed)
+			}
+			reportStaleUses(p, s.Cond, killed)
+			scanBlockForStaleEvents(p, s.Body.List, copyKills(killed))
+			if s.Else != nil {
+				if blk, ok := s.Else.(*ast.BlockStmt); ok {
+					scanBlockForStaleEvents(p, blk.List, copyKills(killed))
+				} else {
+					scanBlockForStaleEvents(p, []ast.Stmt{s.Else}, copyKills(killed))
+				}
+			}
+		case *ast.ForStmt:
+			scanBlockForStaleEvents(p, s.Body.List, copyKills(killed))
+		case *ast.RangeStmt:
+			reportStaleUses(p, s.X, killed)
+			scanBlockForStaleEvents(p, s.Body.List, copyKills(killed))
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if cc, ok := n.(*ast.CaseClause); ok {
+					scanBlockForStaleEvents(p, cc.Body, copyKills(killed))
+					return false
+				}
+				return true
+			})
+		default:
+			reportStaleUses(p, stmt, killed)
+		}
+	}
+}
+
+// releaseTarget recognizes a release statement — recycle(ev),
+// e.recycle(ev), ev.Release() — and returns the released pooled-event
+// object.
+func releaseTarget(p *Pass, e ast.Expr) (types.Object, token.Pos, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	var calleeName string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		calleeName = fun.Name
+	case *ast.SelectorExpr:
+		calleeName = fun.Sel.Name
+		// ev.Release(): the receiver is the released event.
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok && releaseFuncs[calleeName] {
+			if obj := p.Info.Uses[id]; obj != nil && isPooledEvent(obj.Type()) {
+				return obj, call.Pos(), true
+			}
+		}
+	default:
+		return nil, token.NoPos, false
+	}
+	if !releaseFuncs[calleeName] {
+		return nil, token.NoPos, false
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && isPooledEvent(obj.Type()) {
+				return obj, call.Pos(), true
+			}
+		}
+	}
+	return nil, token.NoPos, false
+}
+
+// reportStaleUses flags every identifier in the subtree that resolves
+// to a killed pooled event.
+func reportStaleUses(p *Pass, node ast.Node, killed map[types.Object]token.Position) {
+	if node == nil || len(killed) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if at, dead := killed[obj]; dead {
+			p.Reportf(id.Pos(), "pooled event %s used after release at line %d — the struct may already be recycled for a newer event (DESIGN.md §10)", id.Name, at.Line)
+		}
+		return true
+	})
+}
+
+// isPooledEvent reports whether t is a pointer to a named type called
+// Event — the pooled slab struct (sim.Event, or a fixture's local
+// copy).
+func isPooledEvent(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Event"
+}
+
+// defOrUse resolves an identifier to its object from either map.
+func defOrUse(p *Pass, id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// copyKills clones a kill set for a nested scope.
+func copyKills(in map[types.Object]token.Position) map[types.Object]token.Position {
+	out := make(map[types.Object]token.Position, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// --- PolicyCookie ownership ---
+
+func checkCookieOwnership(p *Pass) {
+	owned := cookieOwners(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj != nil && owned[obj] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "PolicyCookie" {
+					return true
+				}
+				if v, ok := p.Info.Uses[sel.Sel].(*types.Var); !ok || !v.IsField() {
+					return true
+				}
+				p.Reportf(sel.Sel.Pos(), "PolicyCookie accessed outside the owning eviction policy — the slot's meaning is private to the policy that set it (DESIGN.md §12)")
+				return true
+			})
+		}
+	}
+}
+
+// cookieOwners computes the functions allowed to touch PolicyCookie in
+// this package: everything reachable, over the module call graph, from
+// a method of a type (declared here) that implements evict.Policy.
+// That covers the policies themselves and their intrusive helpers
+// (the container heap's sift methods) without opening the slot to the
+// pool or platform layers.
+func cookieOwners(p *Pass) map[*types.Func]bool {
+	owned := make(map[*types.Func]bool)
+	iface := namedInterface(p, "Policy", "mlcr/internal/evict")
+	if iface == nil {
+		return owned
+	}
+	g := p.Mod.CallGraph()
+	var queue []*FuncNode
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if node := g.Node(m); node != nil && !owned[m] {
+				owned[m] = true
+				queue = append(queue, node)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Edges {
+			callee := e.Callee
+			if callee.Pkg != p.pkg || owned[callee.Obj] {
+				continue
+			}
+			owned[callee.Obj] = true
+			queue = append(queue, callee)
+		}
+	}
+	return owned
+}

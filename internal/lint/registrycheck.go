@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RegistryCheck keeps the policy/router/scheduler zoos honest: every
+// name that enters a registry must be exercised by the test harness.
+// A registration with no matching fixture is exactly how a subtly
+// broken policy ships — it compiles, nothing runs it, and the first
+// grid sweep that touches it produces garbage fingerprints.
+//
+// The analyzer collects registered names from two shapes: calls to a
+// Register-style function with a constant-string name argument
+// (evict.Register, cluster.RegisterRouter), and constant-string case
+// clauses of a name-switch inside a New* constructor (the policy
+// package's NewByName). Each name must then pass two checks:
+//
+//  1. Fixture: the registering package's own _test.go corpus mentions
+//     the name literal (or the package's enumerator — an exported
+//     zero-arg func returning []string whose name contains "Names" or
+//     "Schedulers" — is called from those tests, which exercises every
+//     registered name by construction).
+//  2. Pinning: some test file in the module whose text mentions
+//     "Fingerprint" or "Parallel" covers the name — by literal or
+//     through the package's enumerator — so behaviour is pinned by a
+//     golden fingerprint or a parallel-vs-sequential equivalence test.
+var RegistryCheck = &Analyzer{
+	Name: "registrycheck",
+	Doc:  "every registered policy/router/scheduler name has a test fixture and a pinned-fingerprint or parallel-equivalence test",
+	Run:  runRegistryCheck,
+}
+
+// registration is one registered name and where it was registered.
+type registration struct {
+	name string
+	pos  token.Pos
+}
+
+func runRegistryCheck(p *Pass) {
+	regs := collectRegistrations(p)
+	if len(regs) == 0 {
+		return
+	}
+	enums := enumeratorNames(p)
+	ownCorpus := p.pkg.testCorpusOf()
+	ownHasEnum := corpusCallsAny(ownCorpus, enums)
+
+	// The pinning corpus: every test file in the module whose text
+	// talks about fingerprints or parallel equivalence.
+	var pinning []testFile
+	for _, pkg := range p.Mod.Pkgs {
+		for _, tf := range pkg.testCorpusOf() {
+			if strings.Contains(tf.text, "Fingerprint") || strings.Contains(tf.text, "Parallel") {
+				pinning = append(pinning, tf)
+			}
+		}
+	}
+	pinningHasEnum := corpusCallsAny(pinning, enums)
+
+	for _, reg := range regs {
+		if !ownHasEnum && !corpusMentions(ownCorpus, reg.name) {
+			p.Reportf(reg.pos, "registered name %q has no fixture in %s's own tests — add a harness case or enumerate the registry (DESIGN.md §14)", reg.name, p.Pkg.Name())
+		}
+		if !pinningHasEnum && !corpusMentions(pinning, reg.name) {
+			p.Reportf(reg.pos, "registered name %q is not covered by any pinned-fingerprint or parallel-vs-sequential test — behaviour can drift silently (DESIGN.md §14)", reg.name)
+		}
+	}
+}
+
+// collectRegistrations finds the package's registered names.
+func collectRegistrations(p *Pass) []registration {
+	var out []registration
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, pos, ok := registerCallName(p, call); ok {
+					out = append(out, registration{name: name, pos: pos})
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "New") {
+				continue
+			}
+			out = append(out, switchCaseNames(p, fd.Body)...)
+		}
+	}
+	return out
+}
+
+// registerCallName matches Register-style calls — callee name contains
+// "Register", first constant-string argument is the registry name.
+func registerCallName(p *Pass, call *ast.CallExpr) (string, token.Pos, bool) {
+	var callee string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee = fun.Name
+	case *ast.SelectorExpr:
+		callee = fun.Sel.Name
+	default:
+		return "", token.NoPos, false
+	}
+	if !strings.Contains(callee, "Register") {
+		return "", token.NoPos, false
+	}
+	for _, arg := range call.Args {
+		if s, ok := constString(p, arg); ok {
+			return s, arg.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// switchCaseNames collects constant-string case values of switches on
+// a string expression inside a New* constructor — the NewByName
+// registry shape.
+func switchCaseNames(p *Pass, body *ast.BlockStmt) []registration {
+	var out []registration
+	ast.Inspect(body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		if t := p.Info.TypeOf(sw.Tag); t == nil || !isString(t) {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, v := range cc.List {
+				if s, ok := constString(p, v); ok {
+					out = append(out, registration{name: s, pos: v.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// constString evaluates an expression to a constant string.
+func constString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// enumeratorNames lists the package's registry enumerators: exported
+// zero-parameter functions returning []string whose name contains
+// "Names" or "Schedulers" (evict.Names, cluster.RouterNames,
+// policy.GridSchedulers).
+func enumeratorNames(p *Pass) []string {
+	var out []string
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		fn, ok := scope.Lookup(name).(*types.Func)
+		if !ok || !fn.Exported() {
+			continue
+		}
+		if !strings.Contains(name, "Names") && !strings.Contains(name, "Schedulers") {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if s, ok := sig.Results().At(0).Type().(*types.Slice); !ok || !isString(s.Elem()) {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// corpusMentions reports whether any test file quotes the name — as an
+// exact literal or as the prefix of a composite "name/sub" key.
+func corpusMentions(corpus []testFile, name string) bool {
+	exact := `"` + name + `"`
+	prefix := `"` + name + `/`
+	for _, tf := range corpus {
+		if strings.Contains(tf.text, exact) || strings.Contains(tf.text, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// corpusCallsAny reports whether any test file calls one of the
+// enumerators (harnesses that iterate the registry cover every name by
+// construction).
+func corpusCallsAny(corpus []testFile, enums []string) bool {
+	for _, e := range enums {
+		needle := e + "("
+		for _, tf := range corpus {
+			if strings.Contains(tf.text, needle) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ShardSafe enforces the Router shard-determinism regimes (DESIGN.md
+// §13). A router's Shards() value is a promise about what its Route
+// method may touch:
+//
+//   - Shards() == 0 (ShardsStateless): Route is a pure function of
+//     (i, inv). Any write to receiver fields, package-level state, or
+//     a local aliasing either breaks replay under concurrent calls.
+//   - Shards() == 1: sequential — Route may mutate freely; skipped.
+//   - Shards() == k > 1: concurrent sub-streams. Route may only write
+//     receiver state indexed by the shard parameter (r.busy[shard]…)
+//     or locals derived from such a shard-indexed projection; anything
+//     shared between shards is a replay-breaking race.
+//
+// The analysis is a light per-body dataflow: locals initialized from
+// receiver state are classified as shard-confined (the projection was
+// indexed by the shard parameter) or shared aliases (it was not), and
+// writes through them inherit that classification. Begin and the
+// merge methods are exempt by construction — only Route bodies are
+// analyzed.
+var ShardSafe = &Analyzer{
+	Name: "shardsafe",
+	Doc:  "Route bodies honor the Shards() regime: stateless routers write nothing, sharded routers write only shard-indexed state",
+	Run:  runShardSafe,
+}
+
+// shard regimes, decided from the router's Shards() body.
+type shardRegime int
+
+const (
+	regimeSequential shardRegime = iota // Shards() == 1: anything goes
+	regimeStateless                     // Shards() == 0: no writes at all
+	regimeSharded                       // Shards() == k > 1: shard-indexed only
+)
+
+// localClass classifies a Route-body local for the write rules.
+type localClass int
+
+const (
+	localPure        localClass = iota // plain value-typed local
+	localAliasShared                   // aliases receiver/package state, not shard-indexed
+	localAliasShard                    // aliases a shard-indexed projection of receiver state
+)
+
+func runShardSafe(p *Pass) {
+	iface := namedInterface(p, "Router", "mlcr/internal/cluster")
+	if iface == nil {
+		return
+	}
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		checkRouter(p, named)
+	}
+}
+
+// checkRouter analyzes one Router implementation's Route body under
+// its declared regime.
+func checkRouter(p *Pass, named *types.Named) {
+	shards := methodDecl(p, named, "Shards")
+	route := methodDecl(p, named, "Route")
+	if shards == nil || route == nil || route.Body == nil {
+		return
+	}
+	regime, regimeSrc := shardsRegime(p, shards)
+	if regime == regimeSequential {
+		return
+	}
+	recv, shardParam := routeParams(p, route)
+	name := named.Obj().Name()
+
+	locals := classifyLocals(p, route.Body, recv, shardParam)
+	report := func(pos token.Pos, what string) {
+		switch regime {
+		case regimeStateless:
+			p.Reportf(pos, "(%s).Route writes %s, but Shards() == ShardsStateless promises a pure function of (i, inv) — DESIGN.md §13", name, what)
+		case regimeSharded:
+			p.Reportf(pos, "(%s).Route writes %s not indexed by the shard parameter, but Shards() == %s means concurrent shards must touch disjoint state — DESIGN.md §13", name, what, regimeSrc)
+		}
+	}
+
+	ast.Inspect(route.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkWrite(p, lhs, s.Tok == token.DEFINE, recv, shardParam, locals, regime, report)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(p, s.X, false, recv, shardParam, locals, regime, report)
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one lvalue and reports regime violations.
+func checkWrite(p *Pass, lhs ast.Expr, define bool, recv, shardParam types.Object, locals map[types.Object]localClass, regime shardRegime, report func(token.Pos, string)) {
+	root := exprRoot(lhs)
+	if root == nil {
+		return
+	}
+	obj := p.Info.Uses[root]
+	if obj == nil {
+		obj = p.Info.Defs[root]
+	}
+	if obj == nil {
+		return
+	}
+	switch {
+	case obj == recv:
+		if _, bare := ast.Unparen(lhs).(*ast.Ident); bare {
+			return // rebinding the receiver variable itself
+		}
+		// Direct receiver write: r.f = …, r.busy[shard][w] = …
+		if regime == regimeSharded && indexedBy(p, lhs, shardParam) {
+			return
+		}
+		report(lhs.Pos(), "receiver state "+types.ExprString(lhs))
+	case isPackageLevelVar(p, obj):
+		report(lhs.Pos(), "package-level state "+types.ExprString(lhs))
+	default:
+		cls, isLocal := locals[obj]
+		if !isLocal {
+			return
+		}
+		if bare, ok := ast.Unparen(lhs).(*ast.Ident); ok && (define || bare.Name == root.Name) {
+			return // rebinding the local itself, not writing through it
+		}
+		switch cls {
+		case localAliasShared:
+			report(lhs.Pos(), "shared state through alias "+types.ExprString(lhs))
+		case localAliasShard:
+			if regime == regimeStateless {
+				report(lhs.Pos(), "receiver state through alias "+types.ExprString(lhs))
+			}
+		}
+	}
+}
+
+// classifyLocals runs the body's alias dataflow: a reference-typed
+// local initialized from receiver state is a shard-confined alias when
+// the initializer's index chain uses the shard parameter, a shared
+// alias otherwise.
+func classifyLocals(p *Pass, body *ast.BlockStmt, recv, shardParam types.Object) map[types.Object]localClass {
+	out := make(map[types.Object]localClass)
+	ast.Inspect(body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil || obj == recv {
+				continue
+			}
+			cls := localPure
+			if referenceType(obj.Type()) {
+				if exprRootIs(p, as.Rhs[i], recv) {
+					if indexedBy(p, as.Rhs[i], shardParam) {
+						cls = localAliasShard
+					} else {
+						cls = localAliasShared
+					}
+				} else if root := exprRoot(as.Rhs[i]); root != nil {
+					// One-hop propagation: a local derived from an
+					// alias local inherits its class.
+					if prev, ok := out[p.Info.Uses[root]]; ok {
+						cls = prev
+					}
+				}
+			}
+			// A later re-assignment can re-point the alias; keep the
+			// most pessimistic class seen.
+			if prev, seen := out[obj]; !seen || cls == localAliasShared || (cls == localAliasShard && prev == localPure) {
+				out[obj] = cls
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// shardsRegime decides the router's regime from its Shards() body: a
+// constant 0 (or ShardsStateless) is stateless, constant 1 is
+// sequential, anything else — larger constants, len(r.busy) — is the
+// sharded k>1 regime.
+func shardsRegime(p *Pass, decl *ast.FuncDecl) (shardRegime, string) {
+	if decl.Body == nil {
+		return regimeSharded, "k"
+	}
+	var result ast.Expr
+	ast.Inspect(decl.Body, func(node ast.Node) bool {
+		if ret, ok := node.(*ast.ReturnStmt); ok && len(ret.Results) == 1 && result == nil {
+			result = ret.Results[0]
+		}
+		return true
+	})
+	if result == nil {
+		return regimeSharded, "k"
+	}
+	src := types.ExprString(result)
+	if tv, ok := p.Info.Types[result]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			switch v {
+			case 0:
+				return regimeStateless, src
+			case 1:
+				return regimeSequential, src
+			}
+		}
+	}
+	return regimeSharded, src
+}
+
+// routeParams extracts the Route method's receiver and shard-parameter
+// objects (nil for blank "_" names).
+func routeParams(p *Pass, route *ast.FuncDecl) (recv, shardParam types.Object) {
+	if route.Recv != nil && len(route.Recv.List) == 1 && len(route.Recv.List[0].Names) == 1 {
+		recv = p.Info.Defs[route.Recv.List[0].Names[0]]
+	}
+	params := route.Type.Params.List
+	if len(params) > 0 && len(params[0].Names) > 0 {
+		shardParam = p.Info.Defs[params[0].Names[0]]
+	}
+	return recv, shardParam
+}
+
+// methodDecl finds the package's declaration of named's method (value
+// or pointer receiver), or nil.
+func methodDecl(p *Pass, named *types.Named, name string) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			rt := obj.Type().(*types.Signature).Recv().Type()
+			if ptr, ok := rt.(*types.Pointer); ok {
+				rt = ptr.Elem()
+			}
+			if rt == named.Origin() || types.Identical(rt, named) {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// namedInterface resolves the contract interface the analyzer keys on:
+// the pass package's own declaration when it has one (fixtures define
+// local copies), else the canonical declaration from the imported
+// package.
+func namedInterface(p *Pass, name, pkgPath string) *types.Interface {
+	lookup := func(tp *types.Package) *types.Interface {
+		tn, ok := tp.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		iface, ok := tn.Type().Underlying().(*types.Interface)
+		if !ok {
+			return nil
+		}
+		return iface
+	}
+	if iface := lookup(p.Pkg); iface != nil {
+		return iface
+	}
+	for _, imp := range p.Pkg.Imports() {
+		if imp.Path() == pkgPath {
+			if iface := lookup(imp); iface != nil {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// exprRoot returns the base identifier of an lvalue chain
+// (r.busy[shard][w] → r), or nil for unrooted expressions.
+func exprRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch ee := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return ee
+		case *ast.SelectorExpr:
+			e = ee.X
+		case *ast.IndexExpr:
+			e = ee.X
+		case *ast.StarExpr:
+			e = ee.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprRootIs reports whether the expression's base identifier resolves
+// to obj.
+func exprRootIs(p *Pass, e ast.Expr, obj types.Object) bool {
+	root := exprRoot(e)
+	return root != nil && obj != nil && p.Info.Uses[root] == obj
+}
+
+// indexedBy reports whether any index in the expression's access chain
+// mentions the shard parameter — the shape that makes a write
+// shard-private (r.busy[shard], r.state[shard*stride+w], …).
+func indexedBy(p *Pass, e ast.Expr, shardParam types.Object) bool {
+	if shardParam == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(node ast.Node) bool {
+		ix, ok := node.(*ast.IndexExpr)
+		if !ok || found {
+			return !found
+		}
+		ast.Inspect(ix.Index, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == shardParam {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// referenceType reports whether writes through a value of this type
+// can reach shared storage: slices, maps, pointers, channels.
+func referenceType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// isPackageLevelVar reports whether obj is a package-scope variable.
+func isPackageLevelVar(p *Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() == p.Pkg.Scope()
+}

@@ -1,0 +1,23 @@
+// Package anchoring pins the directive-matcher anchoring contract: a
+// trailing //mlcr:allow suppresses its own line ONLY (the line below
+// must still be reported), while a whole-line directive suppresses
+// exactly the next line.
+package anchoring
+
+import "time"
+
+// Trailing: the directive absorbs line N, not line N+1.
+func Trailing() (time.Time, time.Time) {
+	a := time.Now() //mlcr:allow walltime fixture: trailing directive anchors to its own line only
+	b := time.Now() // want `time\.Now reads the wall clock`
+	return a, b
+}
+
+// Standalone: the whole-line directive absorbs the next line, and only
+// the next line.
+func Standalone() (time.Time, time.Time) {
+	//mlcr:allow walltime fixture: standalone directive anchors to the next line
+	a := time.Now()
+	b := time.Now() // want `time\.Now reads the wall clock`
+	return a, b
+}

@@ -1,0 +1,45 @@
+// Package callgraph seeds the call-graph unit-test fixture: a
+// registry-shaped interface dispatch (every loaded implementation must
+// become an edge) and a panic-guarded call (the guard's edges must be
+// cold while the steady-state call stays hot).
+package callgraph
+
+// Policy is the dispatched interface.
+type Policy interface {
+	PickVictim() int
+}
+
+// LRU implements Policy with a value receiver.
+type LRU struct{}
+
+func (LRU) PickVictim() int { return 1 }
+
+// Cost implements Policy with a pointer receiver.
+type Cost struct {
+	weight int
+}
+
+func (c *Cost) PickVictim() int { return c.weight }
+
+// registry dispatches like the evict/cluster registries: through the
+// interface, so static analysis cannot know which concrete type runs.
+var registry = []Policy{LRU{}, &Cost{}}
+
+// Dispatch is the interface call site: conservative resolution must
+// expand it to every loaded implementation.
+func Dispatch(i int) int {
+	return registry[i].PickVictim()
+}
+
+// Guarded calls describe only on the failure path (inside the panic
+// argument) and step on the steady path.
+func Guarded(x int) int {
+	if x < 0 {
+		panic(describe(x))
+	}
+	return step(x)
+}
+
+func describe(x int) string { return "negative input" }
+
+func step(x int) int { return x + 1 }

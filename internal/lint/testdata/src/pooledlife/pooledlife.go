@@ -1,0 +1,96 @@
+// Package pooledlife seeds the pooled-lifetime fixture: stale uses of
+// recycled sim events (the slab free-list contract) and PolicyCookie
+// access outside the owning eviction policy. The local Event and
+// Policy declarations shadow the real sim/evict ones — the analyzer
+// keys on the names, so the fixture is self-contained.
+package pooledlife
+
+// Event is the pooled slab struct: a *Event passed to recycle/Release
+// may immediately belong to a newer event.
+type Event struct {
+	Seq  int
+	next *Event
+}
+
+// Engine owns the free list.
+type Engine struct {
+	free *Event
+}
+
+func (e *Engine) recycle(ev *Event) {
+	ev.next = e.free
+	e.free = ev
+}
+
+// Release surrenders the event through a method on itself.
+func (ev *Event) Release() {}
+
+// DispatchOne is the sanctioned pattern: copy the fields out, then
+// release.
+func (e *Engine) DispatchOne(ev *Event) int {
+	seq := ev.Seq
+	e.recycle(ev)
+	return seq
+}
+
+// UseAfterRelease reads the event after surrendering it.
+func (e *Engine) UseAfterRelease(ev *Event) int {
+	e.recycle(ev)
+	return ev.Seq // want `pooled event ev used after release at line \d+`
+}
+
+// ReleaseMethodForm kills through ev.Release().
+func ReleaseMethodForm(ev *Event) int {
+	ev.Release()
+	return ev.Seq // want `pooled event ev used after release at line \d+`
+}
+
+// Reassigned revives the variable before the next use.
+func (e *Engine) Reassigned(ev *Event) int {
+	e.recycle(ev)
+	ev = e.free
+	return ev.Seq
+}
+
+// BranchKill releases on one arm only; the kill must not leak out of
+// the branch (conservative: no false positive).
+func (e *Engine) BranchKill(ev *Event, drop bool) int {
+	if drop {
+		e.recycle(ev)
+		return 0
+	}
+	return ev.Seq
+}
+
+// Container carries the intrusive cookie slot.
+type Container struct {
+	PolicyCookie uint64
+	ID           int
+}
+
+// Policy mirrors the evict contract the cookie check keys on.
+type Policy interface {
+	Evict() int
+}
+
+// Ring is an owning policy: its methods — and the helpers they reach —
+// may touch the cookie.
+type Ring struct {
+	c *Container
+}
+
+func (r *Ring) Evict() int {
+	r.c.PolicyCookie = 1
+	return siftDown(r.c)
+}
+
+// siftDown is a plain function reachable from the policy's methods
+// over the call graph — an intrusive helper, still owned.
+func siftDown(c *Container) int {
+	return int(c.PolicyCookie)
+}
+
+// Audit is foreign code: not reachable from any policy method.
+func Audit(c *Container) uint64 {
+	return c.PolicyCookie // want `PolicyCookie accessed outside the owning eviction policy`
+}

@@ -1,0 +1,6 @@
+package registrycheck
+
+// Plain harness corpus: exercises "covered", "sw-covered" and
+// "fixture-only" but pins no fingerprints. Never parsed — the
+// registrycheck analyzer scans the raw text.
+var harness = []string{"covered", "sw-covered", "fixture-only"}

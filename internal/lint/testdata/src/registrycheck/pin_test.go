@@ -1,0 +1,8 @@
+package registrycheck
+
+// Fingerprint golden table: this file is the pinning corpus (its text
+// mentions Fingerprint), covering "covered" and "sw-covered" only.
+var pinnedFingerprints = map[string]string{
+	"covered":    "sha256:aaaa",
+	"sw-covered": "sha256:bbbb",
+}

@@ -1,0 +1,35 @@
+// Package registrycheck seeds the registry-coverage fixture: names
+// enter the registry through Register calls and a NewThing name
+// switch; the two raw _test.go files alongside form the fixture's test
+// corpus ("fixture_test.go" the plain harness, "pin_test.go" the
+// fingerprint-pinning corpus). Names covered by neither are flagged at
+// their registration site.
+package registrycheck
+
+var registry = map[string]func(){}
+
+// Register enters one constructor under a name.
+func Register(name string, f func()) { registry[name] = f }
+
+func init() {
+	Register("covered", func() {})
+	Register("fixture-only", func() {}) // want `registered name "fixture-only" is not covered by any pinned-fingerprint`
+	Register("orphan", func() {})       // want `registered name "orphan" has no fixture` `registered name "orphan" is not covered by any pinned-fingerprint`
+}
+
+// Thing is the constructed registry product.
+type Thing struct {
+	kind string
+}
+
+// NewThing is the name-switch registry shape (the policy package's
+// NewByName).
+func NewThing(kind string) *Thing {
+	switch kind {
+	case "sw-covered":
+		return &Thing{kind: kind}
+	case "sw-orphan": // want `registered name "sw-orphan" has no fixture` `registered name "sw-orphan" is not covered`
+		return &Thing{kind: kind}
+	}
+	return nil
+}

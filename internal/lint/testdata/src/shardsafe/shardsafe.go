@@ -1,0 +1,84 @@
+// Package shardsafe seeds the Router shard-regime fixture. The local
+// Router interface shadows mlcr/internal/cluster's (the analyzer
+// prefers the pass package's own declaration), so the three regimes —
+// stateless, sequential, sharded — are all exercised in one package.
+package shardsafe
+
+// Invocation stands in for the routed request.
+type Invocation struct {
+	Fn int
+}
+
+// Router mirrors the cluster contract the analyzer keys on.
+type Router interface {
+	Shards() int
+	Route(shard int, inv Invocation) int
+}
+
+// totalRouted is package-level state no non-sequential router may
+// touch.
+var totalRouted int
+
+// Stateless promises Shards() == 0: Route must be a pure function.
+type Stateless struct {
+	n    int
+	hits []int
+}
+
+func (s *Stateless) Shards() int { return 0 }
+
+func (s *Stateless) Route(shard int, inv Invocation) int {
+	s.n++         // want `\(Stateless\)\.Route writes receiver state s\.n`
+	s.hits[0] = 1 // want `writes receiver state s\.hits\[0\]`
+	totalRouted++ // want `writes package-level state totalRouted`
+	h := s.hits
+	h[1] = 2 // want `writes shared state through alias h\[1\]`
+	local := inv.Fn * 31
+	local %= 7 // clean: pure local arithmetic
+	return local
+}
+
+// Sharded promises Shards() == 4: concurrent sub-streams, so Route
+// may only write state indexed by the shard parameter.
+type Sharded struct {
+	busy   [][]int
+	shared []int
+	total  int
+}
+
+func (r *Sharded) Shards() int { return 4 }
+
+func (r *Sharded) Route(shard int, inv Invocation) int {
+	r.busy[shard][0]++ // clean: shard-indexed receiver state
+	b := r.busy[shard]
+	b[1] = inv.Fn // clean: shard-confined alias
+	r.total++     // want `writes receiver state r\.total not indexed by the shard parameter`
+	s := r.shared
+	s[0] = 1 // want `writes shared state through alias s\[0\]`
+	return shard
+}
+
+// Sequential promises Shards() == 1: single-stream replay, mutate
+// freely — the analyzer skips it entirely.
+type Sequential struct {
+	n int
+}
+
+func (q *Sequential) Shards() int { return 1 }
+
+func (q *Sequential) Route(shard int, inv Invocation) int {
+	q.n++
+	totalRouted++
+	return q.n
+}
+
+// NotARouter has a Route method but no Shards — it does not implement
+// the contract, so its writes are out of scope.
+type NotARouter struct {
+	n int
+}
+
+func (x *NotARouter) Route(shard int, inv Invocation) int {
+	x.n++
+	return 0
+}

@@ -1,0 +1,8 @@
+// Package unusedallow carries one directive that suppresses nothing:
+// the -Wunused-allow pass must flag it when walltime runs, and stay
+// silent when walltime does not (a partial -run cannot judge another
+// analyzer's directives).
+package unusedallow
+
+//mlcr:allow walltime fixture: the clock read this excused is long gone
+func Clean() int { return 1 }

@@ -296,7 +296,7 @@ func (e *Engine) alloc() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	slab := make([]Event, eventSlab)
+	slab := make([]Event, eventSlab) //mlcr:allow hotalloc slab refill: one allocation amortized over eventSlab pooled events
 	for i := 1; i < len(slab); i++ {
 		slab[i].pos = -1
 		e.free = append(e.free, &slab[i])

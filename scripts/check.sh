@@ -18,11 +18,11 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go vet =="
-go vet ./...
+echo "== make vet (go vet + mlcr-vet: determinism + hot-path contracts, DESIGN.md §9, §14) =="
+${MAKE:-make} vet
 
-echo "== mlcr-vet (determinism + hot-path contracts, DESIGN.md §9) =="
-go run ./cmd/mlcr-vet ./...
+echo "== mlcr-vet hotalloc smoke (call-graph hot-path alloc contract alone, DESIGN.md §14) =="
+go run ./cmd/mlcr-vet -run hotalloc ./...
 
 if [ "${FULL:-}" = "1" ]; then
     echo "== go test -race (all packages, full) =="
