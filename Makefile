@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet check check-full bench bench-hotpath bench-simcore bench-cluster bench-all bench-check
+.PHONY: build test vet check check-full bench bench-hotpath bench-simcore bench-cluster bench-serve bench-all bench-check
 
 build:
 	$(GO) build ./...
@@ -48,18 +48,27 @@ bench-simcore:
 bench-cluster:
 	sh scripts/bench_cluster.sh
 
+# Regenerate BENCH_serve.json: million-request concurrent serving-path
+# drive at 16 clients — the sharded lock-free gateway versus the
+# coarse-lock server, with p50/p99/p999 latency and the gateway/coarse
+# speedup ratio (DESIGN.md §15). REQUESTS / CLIENTS override the load.
+bench-serve:
+	sh scripts/bench_serve.sh
+
 # Regenerate BENCH_all.json, the bench-regression baseline: every tier
-# (simcore, hotpath, pool_evict, runner, cluster) measured in-process
-# by cmd/mlcr-perf with ns/op, allocs/op, invocations/sec and peak RSS
-# per entry (DESIGN.md §11). TIERS / QUICK / INVOCATIONS narrow the run.
+# (simcore, hotpath, pool_evict, runner, cluster, serve) measured
+# in-process by cmd/mlcr-perf with ns/op, allocs/op, invocations/sec
+# and peak RSS per entry (DESIGN.md §11). TIERS / QUICK / INVOCATIONS
+# narrow the run.
 bench-all:
 	sh scripts/bench_all.sh
 
 # The regression gate: re-measure and fail on any entry past the
-# thresholds vs the committed BENCH_all.json. The simcore and cluster
-# traces are shrunk to 200k invocations (full micro-benchmark scale
-# elsewhere, so per-op numbers stay comparable to the baseline). A
-# missing baseline or one from a different machine skips the comparison
-# (the gate must not fail fresh checkouts or foreign hardware).
+# thresholds vs the committed BENCH_all.json. The simcore, cluster and
+# serve drives are shrunk to 200k invocations (full micro-benchmark
+# scale elsewhere, so per-op numbers stay comparable to the baseline).
+# A missing baseline or one from a different machine skips the
+# comparison (the gate must not fail fresh checkouts or foreign
+# hardware).
 bench-check:
-	$(GO) run ./cmd/mlcr-perf -check -baseline BENCH_all.json -n 200000 -cluster-n 200000
+	$(GO) run ./cmd/mlcr-perf -check -baseline BENCH_all.json -n 200000 -cluster-n 200000 -serve-n 200000

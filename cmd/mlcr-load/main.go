@@ -1,0 +1,234 @@
+// Command mlcr-load drives millions of requests against the serving
+// path and records throughput plus p50/p99/p999 latency. It is the
+// generator behind BENCH_serve.json and the acceptance measurement for
+// the concurrent gateway: the same warm-heavy drive against the sharded
+// lock-free gateway and against the coarse-lock server, on the same
+// machine, gives the speedup ratio.
+//
+// Usage:
+//
+//	mlcr-load -n 1000000 -c 16 -engine both -out BENCH_serve.json
+//	mlcr-load -n 200000 -c 8 -engine gateway -policy Greedy-Match
+//	mlcr-load -n 10000 -url http://localhost:8080   # drive a live server
+//
+// Engines:
+//
+//   - gateway: in-process api.Gateway (sharded pool, lock-free L3 fast
+//     layer)
+//   - coarse:  in-process api.Server (single platform behind one mutex)
+//   - both:    gateway then coarse, plus the speedup ratio entry
+//
+// With -url the drive goes over HTTP against a running mlcr-server
+// instead (each client POSTs /invoke); throughput then includes the
+// HTTP stack.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"mlcr/internal/api"
+	"mlcr/internal/fstartbench"
+	"mlcr/internal/obs/perf"
+	"mlcr/internal/perfbench"
+	"mlcr/internal/platform"
+	"mlcr/internal/policy"
+	"mlcr/internal/pool"
+)
+
+func main() {
+	n := flag.Int("n", 1000000, "total requests")
+	c := flag.Int("c", 16, "concurrent clients")
+	engine := flag.String("engine", "both", "in-process engine: gateway, coarse, or both")
+	url := flag.String("url", "", "drive a running server over HTTP instead of in-process")
+	policyName := flag.String("policy", "Greedy-Match", "scheduling policy (in-process engines)")
+	poolMB := flag.Float64("pool", 32768, "warm pool capacity in MB, shared across shards (0 = unlimited)")
+	shards := flag.Int("shards", 16, "gateway pool shards")
+	execMS := flag.Int64("exec-ms", 0, "virtual execution time per request in ms (0 = each function's mean)")
+	stepMS := flag.Int64("step-ms", 0, "per-client virtual inter-arrival step in ms (0 = auto warm-heavy)")
+	out := flag.String("out", "", "write the results as a perfbench report (BENCH_serve.json)")
+	baseline := flag.String("baseline", "", "prior report to inherit history from")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the drive")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlcr-load: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mlcr-load: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *url != "" {
+		driveHTTP(*url, *n, *c, *execMS)
+		return
+	}
+
+	mkSched := func() platform.Scheduler {
+		s, ok := policy.NewByName(*policyName, 1)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mlcr-load: unknown policy %q\n", *policyName)
+			os.Exit(2)
+		}
+		return s
+	}
+	mkEvict := func() pool.Evictor {
+		return mkSched().(policy.Evictored).Evictor()
+	}
+
+	var engines []string
+	switch *engine {
+	case "both":
+		engines = []string{perfbench.EngineGateway, perfbench.EngineCoarse}
+	case perfbench.EngineGateway, perfbench.EngineCoarse:
+		engines = []string{*engine}
+	default:
+		fmt.Fprintf(os.Stderr, "mlcr-load: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	rep := &perfbench.Report{
+		Schema:      perfbench.Schema,
+		GeneratedBy: "cmd/mlcr-load",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Machine:     perfbench.ThisMachine(),
+	}
+	results := map[string]perfbench.ServeResult{}
+	for _, eng := range engines {
+		res, err := perfbench.ServeBench(perfbench.ServeOptions{
+			Engine:         eng,
+			Requests:       *n,
+			Clients:        *c,
+			NewScheduler:   mkSched,
+			NewEvictor:     mkEvict,
+			PoolCapacityMB: *poolMB,
+			Shards:         *shards,
+			Exec:           time.Duration(*execMS) * time.Millisecond,
+			Step:           time.Duration(*stepMS) * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlcr-load: %v\n", err)
+			os.Exit(1)
+		}
+		results[eng] = res
+		name := fmt.Sprintf("Serve%s/%d", entryName(eng), *c)
+		rep.Entries = append(rep.Entries, res.Entry(name))
+		fmt.Printf("%-10s %9d req %3d clients  %11.0f req/s  %8.0f ns/op  p50 %s  p99 %s  p999 %s",
+			eng, res.Requests, res.Clients, res.ReqPerSec, res.NsPerOp,
+			time.Duration(res.P50Ns), time.Duration(res.P99Ns), time.Duration(res.P999Ns))
+		if eng == perfbench.EngineGateway {
+			fmt.Printf("  fast-hits %d", res.FastHits)
+		}
+		fmt.Printf("  cold %d\n", res.ColdStarts)
+	}
+
+	if gw, ok := results[perfbench.EngineGateway]; ok {
+		if co, ok := results[perfbench.EngineCoarse]; ok {
+			speedup := gw.ReqPerSec / co.ReqPerSec
+			rep.Entries = append(rep.Entries, perfbench.Entry{
+				Name:           fmt.Sprintf("ServeSpeedup/%d", *c),
+				Tier:           perfbench.TierServe,
+				Iterations:     *n,
+				NsPerOp:        gw.NsPerOp / co.NsPerOp,
+				InvPerSec:      speedup,
+				FloorInvPerSec: perfbench.ServeSpeedupFloor,
+			})
+			fmt.Printf("speedup    gateway/coarse at %d clients: %.2fx\n", *c, speedup)
+		}
+	}
+
+	if *out != "" {
+		if *baseline != "" {
+			if base, err := perfbench.ReadFile(*baseline); err == nil && base.Machine == rep.Machine {
+				rep.PushHistory(base)
+			}
+		}
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "mlcr-load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// entryName maps an engine to its report-entry spelling, matching the
+// perfbench serve tier's names so -baseline history lines up.
+func entryName(engine string) string {
+	if engine == perfbench.EngineGateway {
+		return "Gateway"
+	}
+	return "Coarse"
+}
+
+// driveHTTP hammers a live server's POST /invoke from c clients. Each
+// client walks its own function's virtual timeline like the in-process
+// drive, so a warm server converges to L3 re-hits.
+func driveHTTP(url string, n, c int, execMS int64) {
+	fns := fstartbench.Functions()
+	hdrs := make([]perf.HDR, c)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	start := make(chan struct{})
+	for i := 0; i < c; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn := fns[i%len(fns)]
+			per := n / c
+			if i < n%c {
+				per++
+			}
+			client := &http.Client{Timeout: 30 * time.Second}
+			<-start
+			for j := 0; j < per; j++ {
+				body, _ := json.Marshal(api.InvokeRequest{FnID: fn.ID, ExecMS: execMS})
+				t0 := time.Now()
+				resp, err := client.Post(url+"/invoke", "application/json", bytes.NewReader(body))
+				hdrs[i].RecordDuration(time.Since(t0))
+				if err == nil {
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %d", resp.StatusCode)
+					}
+					resp.Body.Close()
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		fmt.Fprintf(os.Stderr, "mlcr-load: %v\n", firstErr)
+		os.Exit(1)
+	}
+	var h perf.HDR
+	for i := range hdrs {
+		h.Merge(&hdrs[i])
+	}
+	fmt.Printf("http       %9d req %3d clients  %11.0f req/s  p50 %s  p99 %s  p999 %s\n",
+		n, c, float64(n)/elapsed.Seconds(),
+		time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)), time.Duration(h.Quantile(0.999)))
+}

@@ -37,6 +37,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "smoke-test scale (seconds, noisier numbers)")
 		n         = flag.Int("n", 0, "override simcore trace size (invocations)")
 		clusterN  = flag.Int("cluster-n", 0, "override cluster-tier trace size (invocations)")
+		serveN    = flag.Int("serve-n", 0, "override serve-tier request count per engine")
 		baseline  = flag.String("baseline", "", "baseline report to compare against / inherit history from")
 		check     = flag.Bool("check", false, "exit 1 when the run regresses past thresholds vs -baseline")
 		out       = flag.String("out", "", "write the measured report here")
@@ -56,7 +57,7 @@ func main() {
 	if *tiersFlag != "" {
 		tiers = strings.Split(*tiersFlag, ",")
 	}
-	rep, err := perfbench.Run(tiers, perfbench.Options{Quick: *quick, SimCoreInvocations: *n, ClusterInvocations: *clusterN})
+	rep, err := perfbench.Run(tiers, perfbench.Options{Quick: *quick, SimCoreInvocations: *n, ClusterInvocations: *clusterN, ServeRequests: *serveN})
 	if err != nil {
 		fatal(err)
 	}

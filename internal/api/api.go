@@ -20,6 +20,7 @@ package api
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -42,6 +43,29 @@ type Config struct {
 	NewScheduler func() platform.Scheduler
 	// NewEvictor builds the pool eviction policy; nil = LRU.
 	NewEvictor func() pool.Evictor
+	// Clock supplies the gateway's notion of elapsed time, as a monotone
+	// offset from an arbitrary origin. Nil means monotonic wall time
+	// since construction — the production default. Tests inject a
+	// virtual clock to drive timestamp-free requests deterministically.
+	Clock perf.Clock
+	// NewObserver builds the observability bundle on every reset; nil
+	// means the full obs.NewObserver (trace recorder + metrics registry
+	// + scheduler audit log). Load drives inject a metrics-only
+	// observer: the recorder and audit grow with every invocation, and
+	// a million-request measurement must not pay for — or be skewed
+	// by — an unbounded event log it never reads.
+	NewObserver func() *obs.Observer
+}
+
+// WallClock returns the production Clock: monotonic wall time since the
+// call. It is the one place the api package reads the wall clock; every
+// other time observation derives from the injected Clock, keeping the
+// package inside the walltime vet scope.
+func WallClock() perf.Clock {
+	start := time.Now() //mlcr:allow walltime production clock origin: requests arrive in real time; tests inject virtual clocks instead
+	return func() time.Duration {
+		return time.Since(start) //mlcr:allow walltime production clock reading behind the injected-Clock seam
+	}
 }
 
 // Server is the HTTP gateway. It is safe for concurrent use; requests
@@ -49,10 +73,11 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	byID  map[int]*workload.Function
+	clock perf.Clock
 	mu    sync.Mutex
 	plat  *platform.Platform
 	obs   *obs.Observer
-	start time.Time
+	epoch time.Duration // clock() at the last reset
 	seq   int
 	mux   *http.ServeMux
 }
@@ -75,7 +100,11 @@ func New(cfg Config) (*Server, error) {
 		}
 		byID[f.ID] = f
 	}
-	s := &Server{cfg: cfg, byID: byID}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = WallClock()
+	}
+	s := &Server{cfg: cfg, byID: byID, clock: clock}
 	s.resetLocked()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /invoke", s.handleInvoke)
@@ -98,22 +127,27 @@ func (s *Server) resetLocked() {
 	if s.cfg.NewEvictor != nil {
 		ev = s.cfg.NewEvictor()
 	}
-	s.obs = obs.NewObserver()
-	s.start = time.Now()
-	// The gateway is the one place the phase profiler runs on wall time:
-	// requests arrive in real time, so the injected clock is monotonic
-	// time since gateway start (the api package is outside the
-	// simulator's walltime-clean scope by design).
-	s.obs.Perf = perf.New(func() time.Duration { return time.Since(s.start) })
+	if s.cfg.NewObserver != nil {
+		s.obs = s.cfg.NewObserver()
+	} else {
+		s.obs = obs.NewObserver()
+	}
+	s.epoch = s.clock()
+	// The phase profiler observes the same injected clock as request
+	// arrival, offset to the last reset — wall time in production (the
+	// WallClock default), virtual time under test.
+	s.obs.Perf = perf.New(func() time.Duration { return s.clock() - s.epoch })
 	s.plat = platform.New(platform.Config{
 		PoolCapacityMB: s.cfg.PoolCapacityMB,
 		Evictor:        ev,
 		Obs:            s.obs,
 	}, s.cfg.NewScheduler())
 	// A gateway serves an unbounded invocation stream; keeping every
-	// sample would grow without limit, and the HDR behind
-	// StartupQuantile answers /stats in O(1) memory instead.
+	// sample or pool-series point would grow without limit — the HDR
+	// behind StartupQuantile answers /stats in O(1) memory and the
+	// series keeps only its running peak.
 	s.plat.Results().Metrics.SetRetainSamples(false)
+	s.plat.Results().PoolSeries.SetRetainPoints(false)
 	s.seq = 0
 }
 
@@ -163,7 +197,7 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	at := time.Duration(req.AtMS) * time.Millisecond
 	if req.AtMS == 0 {
-		at = time.Since(s.start)
+		at = s.clock() - s.epoch
 	}
 	if at < s.plat.Now() {
 		httpError(w, http.StatusConflict, "arrival %v before virtual time %v", at, s.plat.Now())
@@ -192,6 +226,50 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	out.Breakdown.FnInitMS = res.Startup.FunctionInit.Milliseconds()
 	out.VirtualTimeMS = int64(s.plat.Now() / time.Millisecond)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// DoInvoke is the in-process invocation path (bypassing HTTP): schedule
+// fn at virtual time at with execution time exec (<= 0 means the
+// function's mean). Unlike the HTTP handler, which rejects time travel
+// with a 409, DoInvoke clamps at forward to the platform's virtual time
+// so concurrent in-process drivers (cmd/mlcr-load) need not coordinate
+// arrival order. Returns the startup cost of the decision.
+func (s *Server) DoInvoke(fnID int, at, exec time.Duration) (time.Duration, error) {
+	fn, ok := s.byID[fnID]
+	if !ok {
+		return 0, fmt.Errorf("api: unknown function %d", fnID)
+	}
+	if exec <= 0 {
+		exec = fn.Exec
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := s.plat.Now(); at < now {
+		at = now
+	}
+	inv := &workload.Invocation{Seq: s.seq, Fn: fn, Arrival: at, Exec: exec}
+	s.seq++
+	res := s.plat.Invoke(inv)
+	return res.Startup.Total(), nil
+}
+
+// WriteMetricsText writes the metrics registry in Prometheus text
+// exposition format — the shutdown-flush counterpart of GET /metrics.
+func (s *Server) WriteMetricsText(w io.Writer) error {
+	s.mu.Lock()
+	o := s.obs
+	o.PublishPerf()
+	s.mu.Unlock()
+	return o.Metrics.WritePrometheus(w)
+}
+
+// WriteTrace writes the run's Chrome trace_event JSON — the
+// shutdown-flush counterpart of GET /trace.
+func (s *Server) WriteTrace(w io.Writer) error {
+	s.mu.Lock()
+	rec := s.obs.Recording()
+	s.mu.Unlock()
+	return rec.WriteChromeTrace(w)
 }
 
 // ReuseCounts breaks warm starts down by match level.
@@ -226,7 +304,8 @@ type StatsResponse struct {
 	Expirations      int              `json:"expirations"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+// Stats snapshots the run counters — the GET /stats body.
+func (s *Server) Stats() StatsResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res := s.plat.Results()
@@ -238,7 +317,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		return res.Metrics.StartupQuantile(p / 100).Milliseconds()
 	}
 	lv := res.Metrics.ByLevel()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	return StatsResponse{
 		Policy:         res.Policy,
 		Invocations:    res.Metrics.Count(),
 		TotalStartupMS: res.Metrics.TotalStartup().Milliseconds(),
@@ -255,7 +334,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Evictions:    stats.Evictions,
 		Rejections:   stats.Rejections,
 		Expirations:  stats.Expirations,
-	})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // handleMetrics serves the metrics registry in Prometheus text
@@ -301,8 +384,14 @@ type FunctionInfo struct {
 }
 
 func (s *Server) handleFunctions(w http.ResponseWriter, _ *http.Request) {
-	out := make([]FunctionInfo, 0, len(s.cfg.Functions))
-	for _, f := range s.cfg.Functions {
+	writeJSON(w, http.StatusOK, functionCatalog(s.cfg.Functions))
+}
+
+// functionCatalog renders the GET /functions body, shared between the
+// deterministic Server and the concurrent Gateway.
+func functionCatalog(fns []*workload.Function) []FunctionInfo {
+	out := make([]FunctionInfo, 0, len(fns))
+	for _, f := range fns {
 		info := FunctionInfo{
 			ID: f.ID, Name: f.Name, Description: f.Description,
 			ColdStartMS: f.ColdStartTime().Milliseconds(),
@@ -316,7 +405,7 @@ func (s *Server) handleFunctions(w http.ResponseWriter, _ *http.Request) {
 		}
 		out = append(out, info)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 func biggest(ps []image.Package) string {

@@ -1,0 +1,130 @@
+package drl
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mlcr/internal/nn"
+)
+
+// batchTestNet builds a small deterministic network plus a set of
+// deterministic input states.
+func batchTestNet(seed int64, states int) (*QNetwork, []*nn.Tensor) {
+	cfg := QConfig{Tokens: 4, Width: 6, Actions: 5, Dim: 8, Heads: 2, Hidden: 16}
+	rng := rand.New(rand.NewSource(seed))
+	net := NewQNetwork(cfg, rng)
+	xs := make([]*nn.Tensor, states)
+	for i := range xs {
+		x := nn.NewTensor(cfg.Tokens, cfg.Width)
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64()
+		}
+		xs[i] = x
+	}
+	return net, xs
+}
+
+// TestQBatcherMatchesSequential pins the batched/sequential
+// equivalence contract: every Q-vector served through a hammered
+// QBatcher is bit-identical to a standalone ForwardInto on a network
+// with the same weights, so a batched decision's MaskedArgmax is the
+// sequential path's argmax by construction.
+func TestQBatcherMatchesSequential(t *testing.T) {
+	net, xs := batchTestNet(7, 64)
+	ref, _ := batchTestNet(7, 0) // identical weights (same seed)
+	want := make([]*nn.Tensor, len(xs))
+	for i, x := range xs {
+		want[i] = ref.ForwardInto(nil, x)
+	}
+
+	b := NewQBatcher(net, 8)
+	const workers = 8
+	const rounds = 4
+	errs := make(chan string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tok := NewBatchToken()
+			var dst *nn.Tensor
+			for r := 0; r < rounds; r++ {
+				for i := w; i < len(xs); i += workers {
+					dst = b.ForwardInto(tok, dst, xs[i])
+					for j, v := range dst.Data {
+						if v != want[i].Data[j] {
+							errs <- "batched Q-vector diverges from sequential ForwardInto"
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if got := b.Requests(); got != int64(rounds*len(xs)) {
+		t.Fatalf("Requests = %d, want %d", got, rounds*len(xs))
+	}
+	if b.Batches() <= 0 || b.MaxBatchSeen() <= 0 {
+		t.Fatalf("batch stats not recorded: batches=%d max=%d", b.Batches(), b.MaxBatchSeen())
+	}
+	if b.MaxBatchSeen() > int64(b.MaxBatch()) {
+		t.Fatalf("flush of %d exceeds MaxBatch %d", b.MaxBatchSeen(), b.MaxBatch())
+	}
+}
+
+// TestQBatcherAmortizes checks that under concurrent load at least one
+// flush served more than one request (the whole point of batching).
+func TestQBatcherAmortizes(t *testing.T) {
+	net, xs := batchTestNet(11, 32)
+	b := NewQBatcher(net, 16)
+	const workers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tok := NewBatchToken()
+			var dst *nn.Tensor
+			<-start
+			for r := 0; r < 64; r++ {
+				dst = b.ForwardInto(tok, dst, xs[(w+r)%len(xs)])
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	if b.Requests() != workers*64 {
+		t.Fatalf("Requests = %d, want %d", b.Requests(), workers*64)
+	}
+	// With GOMAXPROCS=1 contention can be scarce; amortization just has
+	// to be possible, i.e. batches never exceed requests and stats hold.
+	if b.Batches() > b.Requests() {
+		t.Fatalf("batches %d > requests %d", b.Batches(), b.Requests())
+	}
+}
+
+// TestQBatcherSteadyStateAllocs pins the 0-alloc contract on the
+// batched inference path: a warmed-up caller with a reused token and
+// dst tensor allocates nothing per decision.
+func TestQBatcherSteadyStateAllocs(t *testing.T) {
+	net, xs := batchTestNet(13, 4)
+	b := NewQBatcher(net, 8)
+	tok := NewBatchToken()
+	var dst *nn.Tensor
+	dst = b.ForwardInto(tok, dst, xs[0]) // warm: grow dst, queue, batch scratch
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = b.ForwardInto(tok, dst, xs[i%len(xs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("batched inference steady state allocates %.1f/op, want 0", allocs)
+	}
+}

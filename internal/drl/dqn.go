@@ -118,6 +118,11 @@ func (a *Agent) Config() AgentConfig { return a.cfg }
 // Replay exposes the experience pool.
 func (a *Agent) Replay() *Replay { return a.replay }
 
+// Online exposes the online Q-network — the weights a QBatcher shares
+// across concurrent inference clients. Mutating it while serving is the
+// caller's race to avoid.
+func (a *Agent) Online() *QNetwork { return a.online }
+
 // Updates returns the number of gradient updates applied.
 func (a *Agent) Updates() int { return a.updates }
 

@@ -101,6 +101,19 @@ func (q *QNetwork) ForwardInto(dst *nn.Tensor, state *nn.Tensor) *nn.Tensor {
 	return dst
 }
 
+// ForwardBatchInto runs the inference forward pass for every token in
+// reqs back-to-back through the network's single reused workspace,
+// writing each result into the token's caller-owned dst. One call
+// serves a whole QBatcher flush; each member's result is bit-identical
+// to a standalone ForwardInto on its state (a forward pass depends
+// only on weights and input). Not safe for concurrent use — the
+// QBatcher's inference lock serializes callers.
+func (q *QNetwork) ForwardBatchInto(reqs []*BatchToken) {
+	for _, r := range reqs {
+		r.dst = q.ForwardInto(r.dst, r.x)
+	}
+}
+
 // MaskedArgmax returns the valid action with the highest Q-value and that
 // value. It panics when no action is valid (the cold-start action is
 // always valid in practice).

@@ -56,6 +56,11 @@ var hotRoots = []struct {
 	{pkg: "mlcr/internal/evict", name: "PickVictim", methodOnly: true},
 	{pkg: "mlcr/internal/drl", name: "ForwardInto", methodOnly: true},
 	{pkg: "mlcr/internal/cluster", name: "Route", methodOnly: true},
+	// The concurrent gateway's per-invocation serving path: the
+	// lock-free fast-layer claim plus the sharded slow path (gwState
+	// serve) and its completion drain. The QBatcher collector loop is
+	// covered by the drl ForwardInto root above.
+	{pkg: "mlcr/internal/api", name: "serve", methodOnly: true},
 }
 
 // hotReachable computes (once per module) the transitive hot set:

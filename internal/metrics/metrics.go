@@ -242,19 +242,30 @@ func Stddev(values []float64) float64 {
 // Series tracks the time evolution of a scalar (e.g. pool memory) and its
 // peak, sampled at irregular virtual times.
 type Series struct {
-	T    []time.Duration
-	V    []float64
-	peak float64
+	T        []time.Duration
+	V        []float64
+	peak     float64
+	noPoints bool
 }
 
-// Observe appends a sample and updates the peak.
+// Observe appends a sample and updates the peak. With point retention
+// off only the peak is tracked.
 func (s *Series) Observe(t time.Duration, v float64) {
-	s.T = append(s.T, t)
-	s.V = append(s.V, v)
+	if !s.noPoints {
+		s.T = append(s.T, t)
+		s.V = append(s.V, v)
+	}
 	if v > s.peak {
 		s.peak = v
 	}
 }
+
+// SetRetainPoints controls whether Observe keeps the (time, value)
+// points (the default) or only the running peak. A serving gateway
+// observes an unbounded invocation stream; retaining every point would
+// grow without limit, while batch simulations keep them for figures
+// and fingerprints.
+func (s *Series) SetRetainPoints(retain bool) { s.noPoints = !retain }
 
 // Reserve grows the point buffers to hold at least n more
 // observations, saving the doubling copies on trace-scale runs where

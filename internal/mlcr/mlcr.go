@@ -164,12 +164,33 @@ type Scheduler struct {
 	// run (set via SetProfiler by the platform's observability wiring;
 	// per-run like the rest of the scheduler's mutable state).
 	prof *perf.Profiler
+	// batcher, when non-nil, routes greedy-inference forward passes
+	// through a shared QBatcher instead of this scheduler's own agent —
+	// the concurrent gateway's amortization seam (SetBatcher). btok/bq
+	// are this scheduler's reusable token and result buffer.
+	batcher *drl.QBatcher
+	btok    *drl.BatchToken
+	bq      *nn.Tensor
 }
 
 // SetProfiler attaches the run's phase profiler so Schedule can time
 // its Q-network forward passes (PhaseNNForward). The platform calls it
 // through the perf-aware scheduler interface; nil detaches.
 func (s *Scheduler) SetProfiler(p *perf.Profiler) { s.prof = p }
+
+// SetBatcher routes this scheduler's greedy-inference forward passes
+// through a shared QBatcher — typically wrapping the master model's
+// online network (Agent().Online()) while per-shard clones carry the
+// same weights, so batched Q-values and hence decisions are
+// bit-identical to each clone's own sequential inference. Exploration
+// and training paths keep using the scheduler's private agent; attach
+// a batcher only to inference-mode schedulers. Nil detaches.
+func (s *Scheduler) SetBatcher(b *drl.QBatcher) {
+	s.batcher = b
+	if b != nil && s.btok == nil {
+		s.btok = drl.NewBatchToken()
+	}
+}
 
 // New creates an MLCR scheduler in inference mode with randomly
 // initialized weights; call Train (or Load) before using it for real
@@ -294,7 +315,13 @@ func (s *Scheduler) Schedule(env platform.Env, inv *workload.Invocation) int {
 		}
 	default:
 		sp := s.prof.Start(perf.PhaseNNForward)
-		q := s.agent.QValues(state.X)
+		var q *nn.Tensor
+		if s.batcher != nil {
+			s.bq = s.batcher.ForwardInto(s.btok, s.bq, state.X)
+			q = s.bq
+		} else {
+			q = s.agent.QValues(state.X)
+		}
 		sp.End()
 		best, bestV := drl.MaskedArgmax(q, state.Mask)
 		action = best

@@ -69,6 +69,9 @@ func (a *Audit) Len() int {
 
 // Decisions returns a copy of the recorded decisions in arrival order.
 func (a *Audit) Decisions() []Decision {
+	if a == nil {
+		return nil
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return append([]Decision(nil), a.decisions...)

@@ -37,6 +37,9 @@ func (r *Recorder) Len() int {
 
 // Events returns a copy of the recorded events in emission order.
 func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]Event(nil), r.events...)

@@ -61,6 +61,20 @@ func Compare(base, cur *Report, th Thresholds) (regs []Regression, skipped strin
 			regs = append(regs, Regression{Name: b.Name, Metric: "missing"})
 			continue
 		}
+		if floor := c.FloorInvPerSec; floor > 0 || b.FloorInvPerSec > 0 {
+			// Floored entry (a ratio like ServeSpeedup): relative drift
+			// on a quotient of two noisy measurements compounds their
+			// variance and flakes, so gate the absolute acceptance bar
+			// instead. The current entry's floor wins so a tightened
+			// bar applies without regenerating the baseline.
+			if floor == 0 {
+				floor = b.FloorInvPerSec
+			}
+			if c.InvPerSec < floor {
+				regs = append(regs, Regression{Name: b.Name, Metric: "invocations_per_sec", Base: b.InvPerSec, Current: c.InvPerSec, Limit: floor})
+			}
+			continue
+		}
 		if limit := b.NsPerOp * (1 + th.NsFrac); c.NsPerOp > limit {
 			regs = append(regs, Regression{Name: b.Name, Metric: "ns_op", Base: b.NsPerOp, Current: c.NsPerOp, Limit: limit})
 		}

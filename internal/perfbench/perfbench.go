@@ -39,11 +39,12 @@ const (
 	TierPoolEvict = "pool_evict"
 	TierRunner    = "runner"
 	TierCluster   = "cluster"
+	TierServe     = "serve"
 )
 
 // Tiers lists every tier in execution order.
 func Tiers() []string {
-	return []string{TierSimCore, TierHotPath, TierPoolEvict, TierRunner, TierCluster}
+	return []string{TierSimCore, TierHotPath, TierPoolEvict, TierRunner, TierCluster, TierServe}
 }
 
 // Options size a benchmark run.
@@ -58,6 +59,20 @@ type Options struct {
 	// (default 2000000; 20000 under Quick). BENCH_cluster.json is
 	// generated at 10000000 via scripts/bench_cluster.sh.
 	ClusterInvocations int
+	// ServeRequests overrides the serve-tier request count per engine
+	// (default 1000000; 20000 under Quick). BENCH_serve.json is
+	// generated at full scale via scripts/bench_serve.sh.
+	ServeRequests int
+}
+
+func (o Options) serveN() int {
+	if o.ServeRequests > 0 {
+		return o.ServeRequests
+	}
+	if o.Quick {
+		return 20000
+	}
+	return 1000000
 }
 
 func (o Options) simCoreN() int {
@@ -131,6 +146,8 @@ func Run(tiers []string, opts Options) (*Report, error) {
 			r.Entries = append(r.Entries, runnerTier(opts))
 		case TierCluster:
 			r.Entries = append(r.Entries, clusterTier(opts)...)
+		case TierServe:
+			r.Entries = append(r.Entries, serveTier(opts)...)
 		default:
 			return nil, fmt.Errorf("unknown tier %q (have %v)", tier, Tiers())
 		}

@@ -122,6 +122,41 @@ func TestCompareFlagsSyntheticRegression(t *testing.T) {
 	}
 }
 
+// TestCompareFloorEntries: an entry with FloorInvPerSec is gated
+// absolutely — ratio entries like ServeSpeedup compound the variance
+// of two measurements, so the relative drift thresholds must not
+// apply; only falling below the floor is a regression.
+func TestCompareFloorEntries(t *testing.T) {
+	mk := func(ratio float64) *Report {
+		r := sampleReport()
+		r.Entries = append(r.Entries, Entry{
+			Name: "ServeSpeedup/16", Tier: TierServe, Iterations: 1,
+			NsPerOp: 1 / ratio, InvPerSec: ratio, FloorInvPerSec: ServeSpeedupFloor,
+		})
+		return r
+	}
+	// A big ratio swing (10x -> 6x would trip both relative gates) is
+	// fine as long as the floor holds.
+	if regs, _ := Compare(mk(10), mk(6), DefaultThresholds()); len(regs) != 0 {
+		t.Errorf("above-floor ratio swing flagged: %v", regs)
+	}
+	// Below the floor trips even if within relative drift of baseline.
+	regs, _ := Compare(mk(5.2), mk(4.8), DefaultThresholds())
+	if len(regs) != 1 || regs[0].Metric != "invocations_per_sec" || regs[0].Limit != ServeSpeedupFloor {
+		t.Errorf("below-floor ratio: regs = %v, want one invocations_per_sec at limit %v", regs, float64(ServeSpeedupFloor))
+	}
+	// A baseline written before the floor field existed still gates:
+	// the current entry's floor applies.
+	old := mk(10)
+	old.Entries[len(old.Entries)-1].FloorInvPerSec = 0
+	if regs, _ := Compare(old, mk(4.8), DefaultThresholds()); len(regs) != 1 {
+		t.Errorf("current-only floor not applied: %v", regs)
+	}
+	if regs, _ := Compare(mk(10), func() *Report { r := mk(6); r.Entries[len(r.Entries)-1].FloorInvPerSec = 0; return r }(), DefaultThresholds()); len(regs) != 0 {
+		t.Errorf("baseline-only floor should still gate absolutely, got %v", regs)
+	}
+}
+
 // TestCompareSkipsAcrossMachines: numbers from different machines are
 // not comparable; the gate must skip rather than cry wolf.
 func TestCompareSkipsAcrossMachines(t *testing.T) {

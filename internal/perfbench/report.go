@@ -48,6 +48,19 @@ type Entry struct {
 	AllocsPerOp  float64 `json:"allocs_op"`
 	InvPerSec    float64 `json:"invocations_per_sec,omitempty"`
 	PeakRSSBytes uint64  `json:"peak_rss_bytes,omitempty"`
+	// P50Ns/P99Ns/P999Ns are per-request latency quantiles, reported by
+	// the serve tier where an operation is one concurrent request.
+	P50Ns  int64 `json:"p50_ns,omitempty"`
+	P99Ns  int64 `json:"p99_ns,omitempty"`
+	P999Ns int64 `json:"p999_ns,omitempty"`
+	// FloorInvPerSec, when non-zero, switches Compare to an absolute
+	// gate for this entry: regression iff InvPerSec < floor, with the
+	// relative ns/op and inv/s drift checks skipped. Used by ratio
+	// entries (ServeSpeedup): a ratio of two noisy measurements
+	// compounds their variance, so relative drift thresholds sized for
+	// single measurements flake on it, while the acceptance bar the
+	// ratio exists to defend (≥5x) is absolute anyway.
+	FloorInvPerSec float64 `json:"floor_inv_per_sec,omitempty"`
 }
 
 // HistoryPoint is the compact trace one regeneration leaves behind:

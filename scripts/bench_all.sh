@@ -5,10 +5,11 @@
 # cmd/mlcr-perf runs every benchmark tier in-process — simcore (the
 # million-invocation simulator core), hotpath (per-decision
 # micro-benchmarks), pool_evict (the capacity-eviction cycle per
-# eviction policy and pool size), runner (the parallel harness sweep)
-# and cluster (1000-worker routing throughput per policy plus the full
-# cluster replay) — and records ns/op, allocs/op, invocations/sec and
-# peak RSS per entry.
+# eviction policy and pool size), runner (the parallel harness sweep),
+# cluster (1000-worker routing throughput per policy plus the full
+# cluster replay) and serve (the concurrent gateway vs coarse-lock
+# server at 16 clients) — and records ns/op, allocs/op,
+# invocations/sec and peak RSS per entry.
 # The previous report's numbers are carried into the history array
 # (capped) when it came from this machine, so the committed file keeps
 # a short trend line across regenerations.
@@ -17,7 +18,10 @@
 # smoke-test scale used by `make bench-check`; INVOCATIONS overrides
 # the simcore trace size (default 1000000); CLUSTER_INVOCATIONS the
 # cluster-tier trace size (default 2000000 — the 10M-invocation scale
-# record lives in BENCH_cluster.json via scripts/bench_cluster.sh).
+# record lives in BENCH_cluster.json via scripts/bench_cluster.sh);
+# SERVE_REQUESTS the serve-tier drive size (default 1000000 — the
+# latency-quantile record lives in BENCH_serve.json via
+# scripts/bench_serve.sh).
 #
 # Usage: sh scripts/bench_all.sh   (or `make bench-all`)
 set -eu
@@ -30,6 +34,7 @@ ARGS="-out $OUT -baseline $OUT"
 [ "${QUICK:-}" = "1" ] && ARGS="$ARGS -quick"
 [ -n "${INVOCATIONS:-}" ] && ARGS="$ARGS -n $INVOCATIONS"
 [ -n "${CLUSTER_INVOCATIONS:-}" ] && ARGS="$ARGS -cluster-n $CLUSTER_INVOCATIONS"
+[ -n "${SERVE_REQUESTS:-}" ] && ARGS="$ARGS -serve-n $SERVE_REQUESTS"
 
 go run ./cmd/mlcr-perf $ARGS
 go run ./cmd/mlcr-perf -validate "$OUT"

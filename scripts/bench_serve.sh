@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_serve.sh — regenerate BENCH_serve.json, the concurrent
+# serving-path record (DESIGN.md §15).
+#
+# cmd/mlcr-load drives a million-request warm-heavy load (16 concurrent
+# clients, each walking its own function's virtual timeline) against
+# both in-process engines on the same machine:
+#
+#   - gateway: the sharded api.Gateway whose lock-free L3 fast layer
+#     serves exact re-hits without taking any lock
+#   - coarse:  the deterministic single-platform api.Server behind one
+#     mutex, the serialization baseline the gateway replaces
+#
+# Each engine entry records throughput (req/s), ns/op, allocs/op and
+# the p50/p99/p999 per-request serving latency; the ServeSpeedup entry
+# records the gateway/coarse throughput ratio — the ≥5x acceptance bar
+# at 16 clients.
+#
+# The output is an mlcr-bench-all/v1 report (same schema and machine
+# fingerprint as BENCH_all.json); the previous report's numbers carry
+# into the history array when it came from this machine.
+#
+# REQUESTS overrides the request count (default 1000000), CLIENTS the
+# concurrency (default 16).
+#
+# Usage: sh scripts/bench_serve.sh   (or `make bench-serve`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_serve.json
+REQUESTS="${REQUESTS:-1000000}"
+CLIENTS="${CLIENTS:-16}"
+
+go run ./cmd/mlcr-load -n "$REQUESTS" -c "$CLIENTS" -engine both -out "$OUT" -baseline "$OUT"
+go run ./cmd/mlcr-perf -validate "$OUT"

@@ -38,13 +38,16 @@ go run ./cmd/mlcr-sim -workload Uniform -count 200 -evictor all > /dev/null
 echo "== cluster routing smoke (every registered router × evictor, race-enabled) =="
 go run -race ./cmd/mlcr-sim -workload Uniform -count 200 -workers 8 -routing all -evictor lfu > /dev/null
 
+echo "== serving-path smoke (gateway vs coarse under mlcr-load, race-enabled) =="
+go run -race ./cmd/mlcr-load -n 4000 -c 8 -engine both > /dev/null
+
 echo "== BenchmarkSimCore smoke (1 invocation) =="
 go test -run '^$' -bench '^BenchmarkSimCore$' -benchtime 1x -count 1 .
 
 echo "== bench-regression gate (BENCH_all.json schema + quick thresholds) =="
 if [ -f BENCH_all.json ]; then
     go run ./cmd/mlcr-perf -validate BENCH_all.json
-    go run ./cmd/mlcr-perf -check -baseline BENCH_all.json -n 200000 -cluster-n 200000
+    go run ./cmd/mlcr-perf -check -baseline BENCH_all.json -n 200000 -cluster-n 200000 -serve-n 200000
 else
     echo "no BENCH_all.json baseline; skipping threshold check (run make bench-all)"
     go run ./cmd/mlcr-perf -quick -tiers hotpath > /dev/null
